@@ -1,0 +1,349 @@
+(* Command-line driver for the RECORD reproduction.
+
+     record compile FILE --target tic25 [--conventional] [--input x=1,2,3]
+     record targets
+     record rules --target dsp56
+     record timing FILE --target tic25 [--deadline CYCLES]
+     record asm FILE.s [--var x:4] [--input x=1,2,3,4]
+     record ise [--netlist acc16] [--compile FILE]
+     record selftest [--netlist acc16]
+     record table1 *)
+
+open Cmdliner
+
+let machines () =
+  [
+    Target.Tic25.machine;
+    Target.Dsp56.machine;
+    Target.Risc32.machine;
+    Target.Asip.machine Target.Asip.default;
+  ]
+
+let netlists =
+  [
+    ("acc16", Rtl.Samples.acc16);
+    ("acc16_dualreg", Rtl.Samples.acc16_dualreg);
+    ("mac16", Rtl.Samples.mac16);
+  ]
+
+let find_machine name =
+  match List.find_opt (fun (m : Target.Machine.t) -> m.name = name) (machines ()) with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf "unknown target %s (available: %s)" name
+         (String.concat ", "
+            (List.map (fun (m : Target.Machine.t) -> m.name) (machines ()))))
+
+let find_netlist name =
+  match List.assoc_opt name netlists with
+  | Some n -> Ok n
+  | None ->
+    Error
+      (Printf.sprintf "unknown netlist %s (available: %s)" name
+         (String.concat ", " (List.map fst netlists)))
+
+(* "x=1,2,3" -> ("x", [|1;2;3|]) *)
+let parse_input spec =
+  match String.index_opt spec '=' with
+  | None -> Error (spec ^ ": expected name=v1,v2,...")
+  | Some i -> (
+    let name = String.sub spec 0 i in
+    let values = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match
+      List.map int_of_string (String.split_on_char ',' values)
+    with
+    | values -> Ok (name, Array.of_list values)
+    | exception Failure _ -> Error (spec ^ ": values must be integers"))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("record: " ^ msg);
+    exit 1
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---- compile -------------------------------------------------------------- *)
+
+let machine_of target target_file =
+  match target_file with
+  | Some path -> (
+    match Mdl.load (read_file path) with
+    | m -> m
+    | exception Mdl.Error msg -> or_die (Error (path ^ ": " ^ msg))
+    | exception Ise.Gen.Unsupported msg -> or_die (Error (path ^ ": " ^ msg))
+    | exception Sys_error msg -> or_die (Error msg))
+  | None -> or_die (find_machine target)
+
+let compile_cmd file target target_file conventional check inputs =
+  let machine = machine_of target target_file in
+  let options =
+    if conventional then Record.Options.conventional else Record.Options.record_
+  in
+  let prog =
+    try Dfl.Lower.source (read_file file) with
+    | Dfl.Lexer.Error msg | Dfl.Parser.Error msg | Dfl.Lower.Error msg ->
+      or_die (Error (file ^ ": " ^ msg))
+    | Sys_error msg -> or_die (Error msg)
+  in
+  let compiled =
+    try Record.Pipeline.compile ~options machine prog with
+    | Record.Pipeline.Error msg -> or_die (Error msg)
+  in
+  Format.printf "%a@." Target.Asm.pp compiled.Record.Pipeline.asm;
+  Format.printf "; %d words, %d instructions@."
+    (Record.Pipeline.words compiled)
+    (Target.Asm.instr_count compiled.Record.Pipeline.asm);
+  if inputs <> [] then begin
+    let inputs = List.map (fun s -> or_die (parse_input s)) inputs in
+    let outputs, cycles = Record.Pipeline.execute compiled ~inputs in
+    List.iter
+      (fun (name, values) ->
+        Format.printf "%s = %s@." name
+          (String.concat ", " (Array.to_list (Array.map string_of_int values))))
+      outputs;
+    Format.printf "; %d cycles@." cycles;
+    if check then begin
+      let expected = Ir.Eval.run_with_inputs prog inputs in
+      let ok =
+        List.for_all (fun (n, v) -> List.assoc n outputs = v) expected
+      in
+      Format.printf "; check against reference interpreter: %s@."
+        (if ok then "PASS" else "FAIL");
+      if not ok then exit 2
+    end
+  end
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DFL source file")
+
+let target_arg =
+  Arg.(value & opt string "tic25" & info [ "target"; "t" ] ~docv:"NAME"
+         ~doc:"Target machine (tic25, dsp56, risc32, asip)")
+
+let target_file_arg =
+  Arg.(value & opt (some file) None & info [ "target-file" ] ~docv:"FILE.mdl"
+         ~doc:"Generate the target from a textual machine description")
+
+let conventional_arg =
+  Arg.(value & flag & info [ "conventional" ]
+         ~doc:"Use the conventional-compiler configuration instead of RECORD")
+
+let check_arg =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"Compare the simulated outputs against the reference \
+               interpreter (exit 2 on mismatch)")
+
+let inputs_arg =
+  Arg.(value & opt_all string [] & info [ "input"; "i" ] ~docv:"NAME=V,V,..."
+         ~doc:"Set an input variable and run the program on the simulator")
+
+let compile_t =
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a DFL program")
+    Term.(
+      const compile_cmd $ file_arg $ target_arg $ target_file_arg
+      $ conventional_arg $ check_arg $ inputs_arg)
+
+(* ---- targets --------------------------------------------------------------- *)
+
+let targets_cmd () =
+  Format.printf "%-10s %-16s %s@." "name" "classification" "description";
+  List.iter
+    (fun (m : Target.Machine.t) ->
+      Format.printf "%-10s %-16s %s@." m.name
+        (Target.Classify.corner_name m.classification)
+        m.description)
+    (machines ());
+  Format.printf "@.netlists (for 'record ise'): %s@."
+    (String.concat ", " (List.map fst netlists))
+
+let targets_t =
+  Cmd.v
+    (Cmd.info "targets" ~doc:"List bundled machines and netlists")
+    Term.(const targets_cmd $ const ())
+
+(* ---- ise ------------------------------------------------------------------- *)
+
+let netlist_arg =
+  Arg.(value & opt string "acc16" & info [ "netlist"; "n" ] ~docv:"NAME"
+         ~doc:"RT netlist to use")
+
+let ise_cmd netlist compile_file =
+  let net = or_die (find_netlist netlist) in
+  let transfers = Ise.Extract.run net in
+  Format.printf "netlist %s: %d transfers extracted@.@." netlist
+    (List.length transfers);
+  List.iter
+    (fun t ->
+      Format.printf "%a@.    /%s/@." Ise.Transfer.pp t
+        (Ise.Transfer.encoding net t))
+    transfers;
+  match compile_file with
+  | None -> ()
+  | Some file ->
+    let machine = Ise.Gen.machine net in
+    let prog =
+      try Dfl.Lower.source (read_file file) with
+      | Dfl.Lexer.Error msg | Dfl.Parser.Error msg | Dfl.Lower.Error msg ->
+        or_die (Error (file ^ ": " ^ msg))
+    in
+    let compiled =
+      try Record.Pipeline.compile machine prog with
+      | Record.Pipeline.Error msg -> or_die (Error msg)
+    in
+    Format.printf "@.%a@." Target.Asm.pp compiled.Record.Pipeline.asm
+
+let ise_compile_arg =
+  Arg.(value & opt (some file) None & info [ "compile" ] ~docv:"FILE"
+         ~doc:"Also compile the given DFL file with the generated compiler")
+
+let ise_t =
+  Cmd.v
+    (Cmd.info "ise" ~doc:"Extract an instruction set from an RT netlist")
+    Term.(const ise_cmd $ netlist_arg $ ise_compile_arg)
+
+(* ---- selftest ---------------------------------------------------------------- *)
+
+let selftest_cmd netlist =
+  let net = or_die (find_netlist netlist) in
+  let suite = Selftest.generate net in
+  let results = Selftest.run suite in
+  List.iter
+    (fun (name, ok) ->
+      Format.printf "%-28s %s@." name (if ok then "pass" else "FAIL"))
+    results;
+  List.iter
+    (fun name -> Format.printf "%-28s untestable@." name)
+    suite.Selftest.untestable;
+  let cov = Selftest.fault_coverage suite in
+  Format.printf "@.stuck-at fault coverage: %d/%d@." cov.Selftest.detected
+    cov.Selftest.faults
+
+let selftest_t =
+  Cmd.v
+    (Cmd.info "selftest" ~doc:"Generate and run self-test programs (§4.5)")
+    Term.(const selftest_cmd $ netlist_arg)
+
+(* ---- asm ------------------------------------------------------------------------ *)
+
+(* "name" or "name:size" *)
+let parse_var spec =
+  match String.index_opt spec ':' with
+  | None -> Ok (spec, 1)
+  | Some i -> (
+    let name = String.sub spec 0 i in
+    match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+    | Some n when n >= 1 -> Ok (name, n)
+    | Some _ | None -> Error (spec ^ ": expected name:size"))
+
+let asm_cmd file vars inputs =
+  let asm =
+    try Target.Tic25_asm.parse (read_file file) with
+    | Target.Tic25_asm.Parse_error msg -> or_die (Error (file ^ ": " ^ msg))
+    | Sys_error msg -> or_die (Error msg)
+  in
+  Format.printf "%a; %d words@.@." Target.Asm.pp asm (Target.Asm.words asm);
+  if vars <> [] then begin
+    let vars = List.map (fun v -> or_die (parse_var v)) vars in
+    let layout =
+      Target.Layout.make ~banks:[ "data" ]
+        (List.map (fun (name, size) -> (name, size, "data")) vars)
+    in
+    let inputs = List.map (fun s -> or_die (parse_input s)) inputs in
+    let outcome = Sim.run Target.Tic25.machine ~layout ~inputs asm in
+    List.iter
+      (fun (name, _) ->
+        Format.printf "%s = %s@." name
+          (String.concat ", "
+             (Array.to_list
+                (Array.map string_of_int (Target.Mstate.get_var outcome.Sim.state name)))))
+      vars;
+    Format.printf "; %d cycles@." outcome.Sim.cycles
+  end
+
+let vars_arg =
+  Arg.(value & opt_all string [] & info [ "var" ] ~docv:"NAME[:SIZE]"
+         ~doc:"Declare a memory variable (declaration order = layout order)")
+
+let asm_t =
+  Cmd.v
+    (Cmd.info "asm"
+       ~doc:"Assemble a C25 listing and optionally run it on the simulator")
+    Term.(const asm_cmd $ file_arg $ vars_arg $ inputs_arg)
+
+(* ---- rules -------------------------------------------------------------------- *)
+
+let rules_cmd target target_file =
+  let machine = machine_of target target_file in
+  Format.printf "%a@." Burg.Grammar.pp machine.Target.Machine.grammar;
+  Format.printf "@.register file:@.%a@." Target.Regfile.pp
+    machine.Target.Machine.regfile
+
+let rules_t =
+  Cmd.v
+    (Cmd.info "rules"
+       ~doc:"Show a machine's instruction-selection grammar and register file")
+    Term.(const rules_cmd $ target_arg $ target_file_arg)
+
+(* ---- timing ------------------------------------------------------------------- *)
+
+let timing_cmd file target deadline =
+  let machine = or_die (find_machine target) in
+  let prog =
+    try Dfl.Lower.source (read_file file) with
+    | Dfl.Lexer.Error msg | Dfl.Parser.Error msg | Dfl.Lower.Error msg ->
+      or_die (Error (file ^ ": " ^ msg))
+    | Sys_error msg -> or_die (Error msg)
+  in
+  let compiled =
+    try Record.Pipeline.compile machine prog with
+    | Record.Pipeline.Error msg -> or_die (Error msg)
+  in
+  let report = Record.Timing.analyze compiled in
+  Format.printf "%a@." Record.Timing.pp report;
+  match deadline with
+  | None -> ()
+  | Some d ->
+    let ok = Record.Timing.meets_deadline compiled ~deadline:d in
+    Format.printf "deadline %d cycles: %s@." d (if ok then "MET" else "MISSED");
+    if not ok then exit 2
+
+let deadline_arg =
+  Arg.(value & opt (some int) None & info [ "deadline" ] ~docv:"CYCLES"
+         ~doc:"Check the code against a cycle budget (exit 2 when missed)")
+
+let timing_t =
+  Cmd.v
+    (Cmd.info "timing"
+       ~doc:"Static execution-time analysis of a compiled DFL program")
+    Term.(const timing_cmd $ file_arg $ target_arg $ deadline_arg)
+
+(* ---- table1 ------------------------------------------------------------------ *)
+
+let table1_cmd () =
+  Format.printf "%a@." Dspstone.Suite.pp_table1 (Dspstone.Suite.table1 ())
+
+let table1_t =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 (DSPStone sizes)")
+    Term.(const table1_cmd $ const ())
+
+(* ---- main -------------------------------------------------------------------- *)
+
+let () =
+  let doc = "RECORD-style retargetable compiler for DSP core processors" in
+  let info = Cmd.info "record" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            compile_t; targets_t; ise_t; selftest_t; table1_t; rules_t;
+            timing_t; asm_t;
+          ]))

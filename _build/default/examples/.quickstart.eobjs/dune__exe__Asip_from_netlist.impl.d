@@ -1,0 +1,1 @@
+examples/asip_from_netlist.ml: Array Dspstone Format Ise List Printf Record Rtl Selftest String Target

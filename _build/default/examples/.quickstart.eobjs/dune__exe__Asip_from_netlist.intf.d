@@ -1,0 +1,1 @@
+examples/asip_from_netlist.mli:

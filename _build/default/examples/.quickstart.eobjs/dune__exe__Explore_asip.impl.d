@@ -1,0 +1,1 @@
+examples/explore_asip.ml: Dspstone Format List Record Target

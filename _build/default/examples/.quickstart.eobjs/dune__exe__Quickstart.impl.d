@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dfl Format Ir List Record Target

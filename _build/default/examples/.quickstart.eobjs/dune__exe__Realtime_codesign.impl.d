@@ -1,0 +1,1 @@
+examples/realtime_codesign.ml: Dspstone Format List Record Target

@@ -1,0 +1,1 @@
+examples/retarget_fir.ml: Dspstone Format List Printf Record String Target

@@ -1,0 +1,1 @@
+examples/textual_machine.ml: Burg Dspstone Format List Mdl Record Target

@@ -1,0 +1,1 @@
+examples/textual_machine.mli:

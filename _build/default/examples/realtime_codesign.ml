@@ -1,0 +1,76 @@
+(* Hardware/software codesign under a real-time budget (§3.2 requirement 4
+   meets §4.2): a sample-rate deadline gives a cycle budget per block; the
+   static timing analysis admits or rejects each candidate ASIP, and the
+   cheapest admissible one wins. Because the compiler retargets to every
+   parameter setting automatically, the whole search is a loop.
+
+     dune exec examples/realtime_codesign.exe *)
+
+let budget_cycles = 200
+
+(* The block to run every sample period: a 16-tap FIR. *)
+let kernel = Dspstone.Kernels.find "fir"
+
+let candidates =
+  [
+    ("no multiplier", { Target.Asip.default with
+                        Target.Asip.has_multiplier = false;
+                        has_mac = false });
+    ("multiplier only", { Target.Asip.default with Target.Asip.has_mac = false });
+    ("multiplier + MAC", Target.Asip.default);
+  ]
+
+(* The same crude gate model as explore_asip. *)
+let area (p : Target.Asip.params) =
+  1000
+  + (if p.Target.Asip.has_multiplier then 2500 else 0)
+  + (if p.Target.Asip.has_mac then 800 else 0)
+  + (if p.Target.Asip.has_saturation then 150 else 0)
+  + (600 * p.Target.Asip.accumulators)
+  + (120 * p.Target.Asip.address_regs)
+
+let () =
+  let prog = Dspstone.Kernels.prog kernel in
+  Format.printf
+    "deadline: %d cycles per sample (16-tap FIR block)@.@." budget_cycles;
+  Format.printf "%-18s %8s %8s %8s  %s@." "candidate" "~gates" "cycles"
+    "words" "verdict";
+  let admitted =
+    List.filter_map
+      (fun (label, params) ->
+        let machine = Target.Asip.machine params in
+        (* Try rolled first; if the deadline is missed, spend code size on
+           full unrolling before giving up. *)
+        let attempt options =
+          let c = Record.Pipeline.compile ~options machine prog in
+          (c, Record.Timing.cycles c)
+        in
+        let c, cycles = attempt Record.Options.record_ in
+        let c, cycles, note =
+          if cycles <= budget_cycles then (c, cycles, "")
+          else
+            let c', cycles' =
+              attempt (Record.Options.with_unrolling 16 Record.Options.record_)
+            in
+            if cycles' <= budget_cycles then (c', cycles', " (unrolled)")
+            else (c, cycles, "")
+        in
+        let ok = Record.Timing.meets_deadline c ~deadline:budget_cycles in
+        (* Whatever we admit must also be CORRECT. *)
+        let outs, _ = Record.Pipeline.execute c ~inputs:kernel.Dspstone.Kernels.inputs in
+        assert (
+          List.for_all
+            (fun (n, v) -> List.assoc n outs = v)
+            (Dspstone.Kernels.reference_outputs kernel));
+        Format.printf "%-18s %8d %8d %8d  %s%s@." label (area params) cycles
+          (Record.Pipeline.words c)
+          (if ok then "meets deadline" else "TOO SLOW")
+          note;
+        if ok then Some (label, area params) else None)
+      candidates
+  in
+  match List.sort (fun (_, a) (_, b) -> compare a b) admitted with
+  | (label, gates) :: _ ->
+    Format.printf "@.selected: %s (~%d gates) — the cheapest admissible core@."
+      label gates
+  | [] -> Format.printf "@.no candidate meets the deadline@."

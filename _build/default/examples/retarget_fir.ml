@@ -1,0 +1,50 @@
+(* Retargeting in action (§4.2: "being able to retarget applications to the
+   most efficient processor would be a competitive advantage"): the same FIR
+   source compiled for every bundled machine, sizes and speeds side by side.
+
+     dune exec examples/retarget_fir.exe *)
+
+let () =
+  let kernel = Dspstone.Kernels.find "fir" in
+  let prog = Dspstone.Kernels.prog kernel in
+  let machines =
+    [
+      Target.Tic25.machine;
+      Target.Dsp56.machine;
+      Target.Risc32.machine;
+      Target.Asip.machine Target.Asip.default;
+      Target.Asip.machine ~name:"asip_lite"
+        {
+          Target.Asip.default with
+          Target.Asip.has_mac = false;
+          has_multiplier = false;
+        };
+    ]
+  in
+  Format.printf "FIR (16 taps) retargeted to every machine:@.@.";
+  Format.printf "%-10s %-12s %8s %8s  %s@." "target" "class" "words" "cycles"
+    "register set";
+  List.iter
+    (fun (machine : Target.Machine.t) ->
+      let compiled = Record.Pipeline.compile machine prog in
+      let outputs, cycles =
+        Record.Pipeline.execute compiled ~inputs:kernel.Dspstone.Kernels.inputs
+      in
+      let expected = Dspstone.Kernels.reference_outputs kernel in
+      assert (List.for_all (fun (n, v) -> List.assoc n outputs = v) expected);
+      let regs =
+        String.concat " "
+          (List.map
+             (fun (c : Target.Regfile.cls) ->
+               Printf.sprintf "%s:%d" c.cls_name c.count)
+             machine.regfile.Target.Regfile.classes)
+      in
+      Format.printf "%-10s %-12s %8d %8d  %s@." machine.name
+        (Target.Classify.corner_name machine.classification)
+        (Record.Pipeline.words compiled)
+        cycles regs)
+    machines;
+  Format.printf
+    "@.All five outputs agree with the reference interpreter; only the@.\
+     machine description changed between lines — the compiler algorithms@.\
+     never did (target independence, §4.1).@."

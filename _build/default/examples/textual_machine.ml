@@ -1,0 +1,53 @@
+(* Compilers generated from processor descriptions (§4.4, the nML idea):
+   define a machine in a dozen lines of text, generate its compiler, and run
+   DSPStone kernels on it — no OCaml written for the target at all.
+
+     dune exec examples/textual_machine.exe *)
+
+let description =
+  {|
+machine simple16
+description "accumulator toy defined in MDL (nML-style)"
+
+register acc
+register t
+counter idx 4
+agu 3
+
+rule ld    acc <- mem
+rule st    mem <- acc
+rule ldi   acc <- imm8
+rule zero  acc <- 0
+rule add   acc <- add(acc, mem)
+rule sub   acc <- sub(acc, mem)
+rule lt    t   <- mem
+rule mpy   acc <- mul(t, mem)
+rule mac   acc <- add(acc, mul(t, mem))
+rule msub  acc <- sub(acc, mul(t, mem))
+|}
+
+let () =
+  let machine = Mdl.load description in
+  Format.printf "generated machine '%s' with %d selection rules@.@."
+    machine.Target.Machine.name
+    (List.length machine.Target.Machine.grammar.Burg.Grammar.rules);
+  List.iter
+    (fun name ->
+      let kernel = Dspstone.Kernels.find name in
+      let prog = Dspstone.Kernels.prog kernel in
+      let compiled = Record.Pipeline.compile machine prog in
+      let outputs, cycles =
+        Record.Pipeline.execute compiled ~inputs:kernel.Dspstone.Kernels.inputs
+      in
+      let expected = Dspstone.Kernels.reference_outputs kernel in
+      assert (List.for_all (fun (n, v) -> List.assoc n outputs = v) expected);
+      Format.printf "%-24s %3d words %5d cycles   (outputs match)@." name
+        (Record.Pipeline.words compiled)
+        cycles)
+    [ "dot_product"; "complex_multiply"; "complex_update"; "fir"; "convolution" ];
+  let k = Dspstone.Kernels.find "complex_multiply" in
+  let compiled =
+    Record.Pipeline.compile machine (Dspstone.Kernels.prog k)
+  in
+  Format.printf "@.complex_multiply on simple16:@.%a@." Target.Asm.pp
+    compiled.Record.Pipeline.asm

@@ -1,0 +1,1 @@
+lib/burg/cover.ml: Format Ir List Rule

@@ -1,0 +1,1 @@
+lib/burg/cover.mli: Format Ir Rule

@@ -1,0 +1,1 @@
+lib/burg/grammar.ml: Format Hashtbl List Pattern Printf Rule String

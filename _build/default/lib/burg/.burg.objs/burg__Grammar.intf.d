@@ -1,0 +1,1 @@
+lib/burg/grammar.mli: Format Rule

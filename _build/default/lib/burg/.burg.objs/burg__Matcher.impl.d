@@ -1,0 +1,1 @@
+lib/burg/matcher.ml: Cover Grammar Hashtbl Ir List Option Pattern Rule String

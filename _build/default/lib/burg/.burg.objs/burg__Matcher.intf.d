@@ -1,0 +1,1 @@
+lib/burg/matcher.mli: Cover Grammar Ir

@@ -1,0 +1,1 @@
+lib/burg/pattern.ml: Format Ir List Printf

@@ -1,0 +1,1 @@
+lib/burg/pattern.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/burg/rule.ml: Format Ir Pattern Printf

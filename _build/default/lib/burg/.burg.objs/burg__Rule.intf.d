@@ -1,0 +1,1 @@
+lib/burg/rule.mli: Format Ir Pattern

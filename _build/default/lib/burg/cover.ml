@@ -1,0 +1,25 @@
+type t = { rule : Rule.t; node : Ir.Tree.t; children : t list }
+
+let rec cost c =
+  List.fold_left
+    (fun acc child -> acc + cost child)
+    (Rule.cost_at c.rule c.node)
+    c.children
+
+let rules_used c =
+  let rec go acc c =
+    List.fold_left go (c.rule :: acc) c.children
+  in
+  List.rev (go [] c)
+
+let pattern_count c =
+  List.length (List.filter (fun r -> not (Rule.is_chain r)) (rules_used c))
+
+let rec pp ppf c =
+  if c.children = [] then Format.fprintf ppf "%s" c.rule.Rule.name
+  else
+    Format.fprintf ppf "@[<hov 2>(%s@ %a)@]" c.rule.Rule.name
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+      c.children
+
+let to_string c = Format.asprintf "%a" pp c

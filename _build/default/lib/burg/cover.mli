@@ -1,0 +1,23 @@
+(** Derivations produced by the matcher: which rule covers which subtree
+    (paper Fig. 5). *)
+
+type t = {
+  rule : Rule.t;
+  node : Ir.Tree.t;  (** the subtree matched by [rule.pattern] *)
+  children : t list;
+      (** sub-derivations, one per nonterminal leaf of the pattern, in
+          left-to-right order *)
+}
+
+val cost : t -> int
+(** Total cost: the sum of rule costs over the derivation. *)
+
+val rules_used : t -> Rule.t list
+(** All rules in the derivation, preorder. *)
+
+val pattern_count : t -> int
+(** Number of non-chain rules in the derivation — the "number of covering
+    patterns" RECORD minimizes over tree variants (§4.3.3). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,140 @@
+type entry = { cost : int; cover : Cover.t }
+
+(* Best derivation per nonterminal at one tree node. *)
+type labelling = (string, entry) Hashtbl.t
+
+type t = {
+  grammar : Grammar.t;
+  base_rules : Rule.t list;  (* non-chain *)
+  chain_rules : Rule.t list;
+  memo : (Ir.Tree.t, labelling) Hashtbl.t;
+}
+
+let create grammar =
+  let base_rules, chain_rules =
+    List.partition (fun r -> not (Rule.is_chain r)) grammar.Grammar.rules
+  in
+  { grammar; base_rules; chain_rules; memo = Hashtbl.create 256 }
+
+let grammar m = m.grammar
+
+(* Match a pattern against a subject tree. Returns the subtrees bound to the
+   pattern's nonterminal leaves, in left-to-right order, or None. *)
+let rec match_pattern p t =
+  match (p, t) with
+  | Pattern.Nonterm nt, _ -> Some [ (nt, t) ]
+  | Pattern.Const_any, Ir.Tree.Const _ -> Some []
+  | Pattern.Const_eq k, Ir.Tree.Const k' -> if k = k' then Some [] else None
+  | Pattern.Ref_any, Ir.Tree.Ref _ -> Some []
+  | Pattern.Unop (op, pa), Ir.Tree.Unop (op', a) when op = op' ->
+    match_pattern pa a
+  | Pattern.Binop (op, pa, pb), Ir.Tree.Binop (op', a, b) when op = op' -> (
+    match match_pattern pa a with
+    | None -> None
+    | Some la -> (
+      match match_pattern pb b with
+      | None -> None
+      | Some lb -> Some (la @ lb)))
+  | ( ( Pattern.Const_any | Pattern.Const_eq _ | Pattern.Ref_any
+      | Pattern.Unop _ | Pattern.Binop _ ),
+      (Ir.Tree.Const _ | Ir.Tree.Ref _ | Ir.Tree.Unop _ | Ir.Tree.Binop _) )
+    ->
+    None
+
+let improve (lab : labelling) nt entry =
+  match Hashtbl.find_opt lab nt with
+  | Some old when old.cost <= entry.cost -> false
+  | Some _ | None ->
+    Hashtbl.replace lab nt entry;
+    true
+
+let rec labelling m t : labelling =
+  match Hashtbl.find_opt m.memo t with
+  | Some lab -> lab
+  | None ->
+    let lab = compute m t in
+    Hashtbl.replace m.memo t lab;
+    lab
+
+and compute m t =
+  let lab : labelling = Hashtbl.create 8 in
+  let try_base (r : Rule.t) =
+    match match_pattern r.pattern t with
+    | None -> ()
+    | Some bindings ->
+      let guard_ok =
+        match r.guard with None -> true | Some g -> g t
+      in
+      if guard_ok then begin
+        (* Sum the best costs of each bound subtree for its nonterminal. *)
+        let rec collect acc covers = function
+          | [] -> Some (acc, List.rev covers)
+          | (nt, sub) :: rest -> (
+            let sub_lab = labelling m sub in
+            match Hashtbl.find_opt sub_lab nt with
+            | None -> None
+            | Some e -> collect (acc + e.cost) (e.cover :: covers) rest)
+        in
+        match collect (Rule.cost_at r t) [] bindings with
+        | None -> ()
+        | Some (cost, children) ->
+          ignore
+            (improve lab r.lhs { cost; cover = { Cover.rule = r; node = t; children } })
+      end
+  in
+  List.iter try_base m.base_rules;
+  (* Chain-rule closure: relax until fixpoint. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Rule.t) ->
+        match r.pattern with
+        | Pattern.Nonterm src -> (
+          match Hashtbl.find_opt lab src with
+          | None -> ()
+          | Some e ->
+            let guard_ok =
+              match r.guard with None -> true | Some g -> g t
+            in
+            if guard_ok then begin
+              let entry =
+                {
+                  cost = e.cost + Rule.cost_at r t;
+                  cover = { Cover.rule = r; node = t; children = [ e.cover ] };
+                }
+              in
+              if improve lab r.lhs entry then changed := true
+            end)
+        | Pattern.Const_any | Pattern.Const_eq _ | Pattern.Ref_any
+        | Pattern.Unop _ | Pattern.Binop _ ->
+          ())
+      m.chain_rules
+  done;
+  lab
+
+let label m t =
+  let lab = labelling m t in
+  Hashtbl.fold (fun nt e acc -> (nt, e.cost) :: acc) lab []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let best ?nt m t =
+  let nt = Option.value ~default:m.grammar.Grammar.start nt in
+  let lab = labelling m t in
+  Option.map (fun e -> e.cover) (Hashtbl.find_opt lab nt)
+
+let best_of_variants ?nt m variants =
+  let consider acc v =
+    match best ?nt m v with
+    | None -> acc
+    | Some c -> (
+      let cost = Cover.cost c in
+      match acc with
+      | Some (_, _, best_cost) when best_cost <= cost -> acc
+      | Some _ | None -> Some (v, c, cost))
+  in
+  match List.fold_left consider None variants with
+  | None -> None
+  | Some (v, c, _) -> Some (v, c)
+
+let clear m = Hashtbl.reset m.memo

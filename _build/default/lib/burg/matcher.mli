@@ -1,0 +1,27 @@
+(** Bottom-up dynamic-programming tree covering (Aho/Ganapathi/Tjiang;
+    the engine iburg generates). Given a grammar, labels every tree node with
+    the cheapest derivation per nonterminal and extracts the optimal cover.
+
+    A matcher memoizes labellings across calls, which is what makes matching
+    "each variant" of a tree cheap (§4.3.3). *)
+
+type t
+
+val create : Grammar.t -> t
+
+val grammar : t -> Grammar.t
+
+val label : t -> Ir.Tree.t -> (string * int) list
+(** Nonterminals derivable at the root with their minimal costs, sorted by
+    nonterminal name. *)
+
+val best : ?nt:string -> t -> Ir.Tree.t -> Cover.t option
+(** Cheapest derivation of the tree to [nt] (default: the grammar's start
+    nonterminal), or [None] when the tree cannot be covered. *)
+
+val best_of_variants : ?nt:string -> t -> Ir.Tree.t list -> (Ir.Tree.t * Cover.t) option
+(** The variant with the cheapest cover; ties break toward the earlier
+    variant. [None] when no variant can be covered. *)
+
+val clear : t -> unit
+(** Drops the memo table (used by benchmarks to measure cold labelling). *)

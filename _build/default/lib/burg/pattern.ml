@@ -1,0 +1,33 @@
+type t =
+  | Nonterm of string
+  | Const_any
+  | Const_eq of int
+  | Ref_any
+  | Unop of Ir.Op.unop * t
+  | Binop of Ir.Op.binop * t * t
+
+let nonterms p =
+  let rec go acc = function
+    | Nonterm nt -> nt :: acc
+    | Const_any | Const_eq _ | Ref_any -> acc
+    | Unop (_, a) -> go acc a
+    | Binop (_, a, b) -> go (go acc a) b
+  in
+  List.rev (go [] p)
+
+let rec depth = function
+  | Nonterm _ | Const_any | Const_eq _ | Ref_any -> 1
+  | Unop (_, a) -> 1 + depth a
+  | Binop (_, a, b) -> 1 + max (depth a) (depth b)
+
+let rec to_string = function
+  | Nonterm nt -> nt
+  | Const_any -> "#"
+  | Const_eq k -> Printf.sprintf "#%d" k
+  | Ref_any -> "ref"
+  | Unop (op, a) -> Printf.sprintf "%s(%s)" (Ir.Op.unop_name op) (to_string a)
+  | Binop (op, a, b) ->
+    Printf.sprintf "%s(%s,%s)" (Ir.Op.binop_name op) (to_string a)
+      (to_string b)
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

@@ -1,0 +1,18 @@
+(** Tree patterns of instruction-selection rules (the left-hand sides of an
+    iburg grammar, paper Fig. 4). *)
+
+type t =
+  | Nonterm of string  (** match any subtree derivable to this nonterminal *)
+  | Const_any  (** match any [Tree.Const] *)
+  | Const_eq of int  (** match a specific constant *)
+  | Ref_any  (** match any [Tree.Ref] *)
+  | Unop of Ir.Op.unop * t
+  | Binop of Ir.Op.binop * t * t
+
+val nonterms : t -> string list
+(** Nonterminal leaves in left-to-right order (with duplicates). *)
+
+val depth : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

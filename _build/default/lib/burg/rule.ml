@@ -1,0 +1,23 @@
+type t = {
+  name : string;
+  lhs : string;
+  pattern : Pattern.t;
+  cost : int;
+  dyn_cost : (Ir.Tree.t -> int) option;
+  guard : (Ir.Tree.t -> bool) option;
+}
+
+let make ?guard ?dyn_cost ~name ~lhs ~cost pattern =
+  if cost < 0 then invalid_arg "Rule.make: negative cost";
+  { name; lhs; pattern; cost; dyn_cost; guard }
+
+let cost_at r t = match r.dyn_cost with Some f -> f t | None -> r.cost
+
+let is_chain r = match r.pattern with Pattern.Nonterm _ -> true | _ -> false
+
+let to_string r =
+  Printf.sprintf "%s: %s <- %s (%d)" r.name r.lhs
+    (Pattern.to_string r.pattern)
+    r.cost
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

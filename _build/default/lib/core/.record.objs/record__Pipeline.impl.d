@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Burg Ir List Opt Options Printf Sim Target

@@ -1,0 +1,49 @@
+type selection = Optimal_variants | Optimal_single | Naive_macro
+
+type agu_strategy = Streams | Materialize_ivar
+
+type t = {
+  selection : selection;
+  variant_limit : int;
+  algebra_rules : Ir.Algebra.rule list;
+  cse : bool;
+  peephole : bool;
+  mode_strategy : Opt.Modeopt.strategy;
+  agu : agu_strategy;
+  compaction : bool;
+  membank : bool;
+  unroll_limit : int;
+}
+
+let record_ =
+  {
+    selection = Optimal_variants;
+    variant_limit = 64;
+    algebra_rules = Ir.Algebra.default_rules;
+    cse = true;
+    peephole = true;
+    mode_strategy = Opt.Modeopt.Lazy;
+    agu = Streams;
+    compaction = true;
+    membank = true;
+    unroll_limit = 0;
+  }
+
+let conventional =
+  {
+    selection = Naive_macro;
+    variant_limit = 1;
+    algebra_rules = [];
+    cse = false;
+    peephole = false;
+    mode_strategy = Opt.Modeopt.Naive;
+    agu = Materialize_ivar;
+    compaction = false;
+    membank = false;
+    unroll_limit = 0;
+  }
+
+let with_folding t =
+  { t with algebra_rules = Ir.Algebra.Fold :: t.algebra_rules }
+
+let with_unrolling limit t = { t with unroll_limit = limit }

@@ -1,0 +1,53 @@
+(** Compiler configurations.
+
+    The same pipeline implements both the paper's RECORD compiler and the
+    conventional target-specific compiler it is compared against in Table 1;
+    every §3.3 optimization is an independent switch, which is what the
+    ablation benchmarks toggle. *)
+
+type selection =
+  | Optimal_variants
+      (** RECORD: algebraic variants of each tree, each matched, cheapest
+          cover wins (§4.3.3) *)
+  | Optimal_single  (** optimal cover of the original tree only *)
+  | Naive_macro
+      (** conventional compiler: every interior node is homed to memory and
+          matched alone (macro expansion) *)
+
+type agu_strategy =
+  | Streams  (** one auto-increment address register per access stream *)
+  | Materialize_ivar
+      (** the induction variable lives in memory; every access recomputes
+          its address (conventional compiler) *)
+
+type t = {
+  selection : selection;
+  variant_limit : int;  (** cap on algebraic variants per tree *)
+  algebra_rules : Ir.Algebra.rule list;
+  cse : bool;  (** share common subexpressions across a block (Fig. 4) *)
+  peephole : bool;
+  mode_strategy : Opt.Modeopt.strategy;
+  agu : agu_strategy;
+  compaction : bool;
+  membank : bool;
+  unroll_limit : int;
+      (** loops with at most this many iterations are fully unrolled into
+          straight-line code (0 disables; disabled in both standard
+          configurations — unrolling trades the code size Table 1 measures
+          for cycles, so it is an explicit choice) *)
+}
+
+val record_ : t
+(** The RECORD configuration. Note [algebra_rules] excludes constant folding
+    ("it does not contain any standard optimization technique such as
+    constant folding", §4.3.5). *)
+
+val conventional : t
+(** The mid-90s target-specific C compiler stand-in: naive in every
+    dimension (§3.1's 2–8x overhead). *)
+
+val with_folding : t -> t
+(** Ablation: RECORD plus constant folding. *)
+
+val with_unrolling : int -> t -> t
+(** Ablation: fully unroll loops of at most the given trip count. *)

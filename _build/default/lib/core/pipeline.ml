@@ -1,0 +1,424 @@
+exception Error of string
+
+type stats = {
+  variants_tried : int;
+  cover_cost : int;
+  peephole_removed : int;
+  mode_changes : int;
+  agu_streams : int;
+}
+
+type compiled = {
+  machine : Target.Machine.t;
+  prog : Ir.Prog.t;
+  options : Options.t;
+  asm : Target.Asm.t;
+  layout : Target.Layout.t;
+  pool : (string * int) list;
+      (** constant-pool cells and their load-time initial values *)
+  stats : stats;
+}
+
+(* ---- Source-level rewrites (flow graph phase) -------------------------- *)
+
+(* Naive macro expansion: home every interior node to a fresh temporary.
+   Saturation is kept glued to the operation it wraps, as a compiler
+   intrinsic would be. *)
+let cut_all ~fresh (stmts : Ir.Prog.stmt list) =
+  let decls = ref [] in
+  let out = ref [] in
+  let cut t =
+    let name = fresh () in
+    decls := Ir.Prog.scalar_decl name :: !decls;
+    out := { Ir.Prog.dst = Ir.Mref.scalar name; src = t } :: !out;
+    Ir.Tree.Ref (Ir.Mref.scalar name)
+  in
+  let rec sub t =
+    match t with
+    | Ir.Tree.Const _ | Ir.Tree.Ref _ -> t
+    | Ir.Tree.Unop _ | Ir.Tree.Binop _ -> cut (shallow t)
+  and shallow t =
+    match t with
+    | Ir.Tree.Const _ | Ir.Tree.Ref _ -> t
+    | Ir.Tree.Unop (Ir.Op.Sat, (Ir.Tree.Binop _ as b)) ->
+      Ir.Tree.Unop (Ir.Op.Sat, shallow b)
+    | Ir.Tree.Unop (op, a) -> Ir.Tree.Unop (op, sub a)
+    | Ir.Tree.Binop (op, a, b) -> Ir.Tree.Binop (op, sub a, sub b)
+  in
+  List.iter
+    (fun (s : Ir.Prog.stmt) ->
+      let src = shallow s.src in
+      out := { s with src } :: !out)
+    stmts;
+  (List.rev !out, List.rev !decls)
+
+(* Apply a block rewrite to every maximal statement run, recursively. *)
+let rewrite_blocks f items =
+  let rec go items =
+    let flush block acc =
+      if block = [] then acc
+      else
+        acc
+        @ List.map (fun s -> Ir.Prog.Stmt s) (f (List.rev block))
+    in
+    let rec scan items block acc =
+      match items with
+      | [] -> flush block acc
+      | Ir.Prog.Stmt s :: rest -> scan rest (s :: block) acc
+      | Ir.Prog.Loop { ivar; count; body } :: rest ->
+        let acc = flush block acc in
+        scan rest [] (acc @ [ Ir.Prog.Loop { ivar; count; body = go body } ])
+    in
+    scan items [] []
+  in
+  go items
+
+(* Full unrolling: a loop within the limit becomes straight-line code, its
+   induction references resolved to constant elements per iteration. *)
+let rec unroll limit items =
+  List.concat_map
+    (fun item ->
+      match item with
+      | Ir.Prog.Stmt _ -> [ item ]
+      | Ir.Prog.Loop { ivar; count; body } ->
+        let body = unroll limit body in
+        if count > limit then [ Ir.Prog.Loop { ivar; count; body } ]
+        else
+          let resolve i (r : Ir.Mref.t) =
+            match r.index with
+            | Ir.Mref.Induct { ivar = v; offset; step } when v = ivar ->
+              Ir.Mref.elem r.base (offset + (step * i))
+            | Ir.Mref.Induct _ | Ir.Mref.Direct | Ir.Mref.Elem _ -> r
+          in
+          let rec copy i = function
+            | Ir.Prog.Stmt { dst; src } ->
+              Ir.Prog.Stmt
+                { dst = resolve i dst; src = Ir.Tree.map_refs (resolve i) src }
+            | Ir.Prog.Loop l ->
+              Ir.Prog.Loop { l with body = List.map (copy i) l.body }
+          in
+          List.concat_map
+            (fun i -> List.map (copy i) body)
+            (List.init count (fun i -> i)))
+    items
+
+let source_rewrite (options : Options.t) (prog : Ir.Prog.t) =
+  let extra_decls = ref [] in
+  let counter = ref 0 in
+  let fresh () =
+    let name = Printf.sprintf "$e%d" !counter in
+    incr counter;
+    name
+  in
+  let body = prog.body in
+  let body =
+    if options.unroll_limit > 0 then unroll options.unroll_limit body
+    else body
+  in
+  let body =
+    if options.cse then
+      rewrite_blocks
+        (fun block ->
+          let stmts, decls = Ir.Dfg.decompose block in
+          extra_decls := !extra_decls @ decls;
+          stmts)
+        body
+    else body
+  in
+  let body =
+    match options.selection with
+    | Options.Naive_macro ->
+      rewrite_blocks
+        (fun block ->
+          let stmts, decls = cut_all ~fresh block in
+          extra_decls := !extra_decls @ decls;
+          stmts)
+        body
+    | Options.Optimal_variants | Options.Optimal_single -> body
+  in
+  ({ prog with body; decls = prog.decls @ !extra_decls }, !extra_decls)
+
+(* ---- Instruction selection and emission -------------------------------- *)
+
+let select matcher (options : Options.t) stats tree =
+  let variants =
+    match options.selection with
+    | Options.Optimal_variants ->
+      Ir.Algebra.variants ~rules:options.algebra_rules
+        ~limit:options.variant_limit tree
+    | Options.Optimal_single | Options.Naive_macro -> [ tree ]
+  in
+  match Burg.Matcher.best_of_variants matcher variants with
+  | Some (_v, cover) ->
+    stats := { !stats with variants_tried = (!stats).variants_tried + List.length variants;
+               cover_cost = (!stats).cover_cost + Burg.Cover.cost cover };
+    cover
+  | None ->
+    raise (Error ("no instruction cover for " ^ Ir.Tree.to_string tree))
+
+let the_naive_agu machine =
+  match machine.Target.Machine.naive_agu with
+  | Some n -> n
+  | None -> raise (Error (machine.Target.Machine.name ^ ": no naive addressing"))
+
+let ar_class machine =
+  match machine.Target.Machine.agu with
+  | Some a -> a.Target.Machine.ar_cls
+  | None -> machine.Target.Machine.loop_.Target.Machine.counter_cls
+
+(* Materialized-induction addressing for one statement: compute every
+   induction access's address into its own register FIRST (the accumulator is
+   free at statement boundaries), then rewrite the statement's instructions
+   to go through those registers. [cells] maps live induction variables to
+   their memory cells. *)
+let naive_stmt_addresses machine ctx cells ~dst ~src =
+  let naive = the_naive_agu machine in
+  let induct_refs =
+    List.filter
+      (fun (r : Ir.Mref.t) ->
+        match r.index with
+        | Ir.Mref.Induct { ivar; _ } -> List.mem_assoc ivar cells
+        | Ir.Mref.Direct | Ir.Mref.Elem _ -> false)
+      (Ir.Tree.refs src @ [ dst ])
+    |> List.sort_uniq Ir.Mref.compare
+  in
+  let ar_map =
+    List.map
+      (fun (r : Ir.Mref.t) ->
+        let ivar =
+          match r.index with
+          | Ir.Mref.Induct { ivar; _ } -> ivar
+          | Ir.Mref.Direct | Ir.Mref.Elem _ -> assert false
+        in
+        let ar = Target.Machine.fresh_vreg ctx (ar_class machine) in
+        naive.Target.Machine.address_into ctx ar
+          ~ivar_cell:(List.assoc ivar cells) ~stream:r;
+        (r, ar))
+      induct_refs
+  in
+  let rewrite op =
+    match op with
+    | Target.Instr.Dir r -> (
+      match List.assoc_opt r ar_map with
+      | Some ar ->
+        Target.Instr.Ind (Target.Instr.Vreg ar, Target.Instr.No_update, Some r)
+      | None -> op)
+    | Target.Instr.Reg _ | Target.Instr.Vreg _ | Target.Instr.Imm _
+    | Target.Instr.Adr _ | Target.Instr.Ind _ ->
+      op
+  in
+  rewrite
+
+let rec lower machine matcher ctx (options : Options.t) stats cells items =
+  List.concat_map
+    (fun item ->
+      match item with
+      | Ir.Prog.Stmt { dst; src } ->
+        let rewrite =
+          match options.agu with
+          | Options.Materialize_ivar when cells <> [] ->
+            naive_stmt_addresses machine ctx cells ~dst ~src
+          | Options.Materialize_ivar | Options.Streams -> fun op -> op
+        in
+        let addr_pre = Target.Machine.drain ctx in
+        let cover = select matcher options stats src in
+        let value = Target.Machine.run_cover machine ctx cover in
+        machine.Target.Machine.store ctx dst value;
+        let body = Target.Machine.drain ctx in
+        List.map
+          (fun i -> Target.Asm.Op (Target.Instr.map_operands rewrite i))
+          (addr_pre @ body)
+      | Ir.Prog.Loop { ivar; count; body } -> (
+        match options.agu with
+        | Options.Streams ->
+          let body_items = lower machine matcher ctx options stats cells body in
+          (* Address streams of this loop, before the loop-control
+             instructions so hardware loops stay adjacent to their body. *)
+          let inits, body_items, residual_ivar =
+            match machine.Target.Machine.agu with
+            | Some agu -> (
+              match Opt.Agu.lower_loop agu ctx ivar body_items with
+              | inits, body', n ->
+                stats :=
+                  { !stats with agu_streams = (!stats).agu_streams + n };
+                (inits, body', None)
+              | exception Opt.Agu.Too_many_streams msg -> raise (Error msg))
+            | None -> ([], body_items, Some ivar)
+          in
+          let counter =
+            machine.Target.Machine.loop_.Target.Machine.loop_pre ctx ~count
+          in
+          let pre = Target.Machine.drain ctx in
+          machine.Target.Machine.loop_.Target.Machine.loop_close ctx counter;
+          let close = Target.Machine.drain ctx in
+          List.map (fun i -> Target.Asm.Op i) (inits @ pre)
+          @ [
+              Target.Asm.Loop
+                {
+                  ivar = residual_ivar;
+                  count;
+                  body =
+                    body_items @ List.map (fun i -> Target.Asm.Op i) close;
+                };
+            ]
+        | Options.Materialize_ivar ->
+          let naive = the_naive_agu machine in
+          let cell = Target.Machine.fresh_scratch ctx in
+          naive.Target.Machine.zero_cell ctx cell;
+          let init = Target.Machine.drain ctx in
+          let body_items =
+            lower machine matcher ctx options stats ((ivar, cell) :: cells)
+              body
+          in
+          naive.Target.Machine.incr_cell ctx cell;
+          let incr = Target.Machine.drain ctx in
+          let counter =
+            machine.Target.Machine.loop_.Target.Machine.loop_pre ctx ~count
+          in
+          let pre = Target.Machine.drain ctx in
+          machine.Target.Machine.loop_.Target.Machine.loop_close ctx counter;
+          let close = Target.Machine.drain ctx in
+          List.map (fun i -> Target.Asm.Op i) (init @ pre)
+          @ [
+              Target.Asm.Loop
+                {
+                  ivar = Some ivar;
+                  count;
+                  body =
+                    body_items
+                    @ List.map (fun i -> Target.Asm.Op i) (incr @ close);
+                };
+            ]))
+    items
+
+(* No induction reference may survive to allocation. *)
+let check_no_induct items =
+  let bad = ref None in
+  let check_op op =
+    let rec dirs op =
+      match op with
+      | Target.Instr.Dir r -> (
+        match r.Ir.Mref.index with
+        | Ir.Mref.Induct _ -> bad := Some r
+        | Ir.Mref.Direct | Ir.Mref.Elem _ -> ())
+      | Target.Instr.Ind (ar, _, _) -> dirs ar
+      | Target.Instr.Reg _ | Target.Instr.Vreg _ | Target.Instr.Imm _
+      | Target.Instr.Adr _ ->
+        ()
+    in
+    dirs op
+  in
+  let note (i : Target.Instr.t) =
+    List.iter check_op (i.operands @ i.defs @ i.uses)
+  in
+  let rec go = function
+    | Target.Asm.Op i -> note i
+    | Target.Asm.Par is -> List.iter note is
+    | Target.Asm.Loop { body; _ } -> List.iter go body
+  in
+  List.iter go items;
+  match !bad with
+  | Some r ->
+    raise
+      (Error
+         ("induction reference not lowered: " ^ Ir.Mref.to_string r))
+  | None -> ()
+
+(* Words of one packed word must touch pairwise distinct banks; indirect
+   accesses have unknown banks and conflict with every other memory access. *)
+let bank_word_ok layout instrs =
+  (* One bank tag per distinct memory location touched by the word; an
+     indirect access of unknown provenance is a wildcard conflicting with
+     every other access. *)
+  let refs = ref [] in
+  let wildcards = ref 0 in
+  let of_op op =
+    match op with
+    | Target.Instr.Dir r | Target.Instr.Ind (_, _, Some r) ->
+      if not (List.exists (Ir.Mref.equal r) !refs) then refs := r :: !refs
+    | Target.Instr.Ind (_, _, None) -> incr wildcards
+    | Target.Instr.Reg _ | Target.Instr.Vreg _ | Target.Instr.Imm _
+    | Target.Instr.Adr _ ->
+      ()
+  in
+  List.iter
+    (fun (i : Target.Instr.t) ->
+      List.iter of_op (i.Target.Instr.operands @ i.Target.Instr.defs
+                       @ i.Target.Instr.uses))
+    instrs;
+  let banks = List.map (Target.Layout.bank_of_ref layout) !refs in
+  let mem_accesses = List.length banks + !wildcards in
+  mem_accesses <= 1
+  || (!wildcards = 0 && List.length (List.sort_uniq compare banks) = List.length banks)
+
+let compile ?(options = Options.record_) machine (prog : Ir.Prog.t) =
+  (match Ir.Prog.validate prog with
+  | Ok () -> ()
+  | Error msg -> raise (Error ("invalid program: " ^ msg)));
+  let prog', _added = source_rewrite options prog in
+  let matcher = Burg.Matcher.create machine.Target.Machine.grammar in
+  let ctx = Target.Machine.create_ctx () in
+  let stats =
+    ref
+      {
+        variants_tried = 0;
+        cover_cost = 0;
+        peephole_removed = 0;
+        mode_changes = 0;
+        agu_streams = 0;
+      }
+  in
+  let items = lower machine matcher ctx options stats [] prog'.body in
+  check_no_induct items;
+  let items =
+    if options.peephole then begin
+      let before = items in
+      let after = Opt.Peephole.run items in
+      stats :=
+        { !stats with peephole_removed = Opt.Peephole.removed ~before ~after };
+      after
+    end
+    else items
+  in
+  let items = Opt.Modeopt.run ~strategy:options.mode_strategy machine items in
+  (match Opt.Modeopt.verify machine items with
+  | Ok () -> ()
+  | Error msg -> raise (Error ("mode verification failed: " ^ msg)));
+  stats := { !stats with mode_changes = Opt.Modeopt.changes_inserted items };
+  let asm = Target.Asm.make ~name:prog.name items in
+  let asm =
+    try Opt.Regalloc.run ~ctx machine asm with
+    | Opt.Regalloc.Pressure msg -> raise (Error ("register pressure: " ^ msg))
+  in
+  let pool = Target.Machine.const_cells ctx in
+  let extra =
+    Target.Machine.scratch_decls ctx
+    @ List.map (fun (name, _) -> (name, 1)) pool
+  in
+  let layout =
+    let banks = machine.Target.Machine.banks in
+    match (options.membank, banks) with
+    | true, [ a; b ] ->
+      let weights = Opt.Membank.pair_weights prog in
+      let vars = List.map (fun (d : Ir.Prog.decl) -> d.name) prog'.decls in
+      let bank_of_var = Opt.Membank.assign ~banks:(a, b) ~weights ~vars in
+      Target.Layout.of_prog ~bank_of:bank_of_var ~banks prog' ~extra
+    | _, _ -> Target.Layout.of_prog ~banks prog' ~extra
+  in
+  let asm =
+    if options.compaction then
+      Opt.Compaction.run ~word_ok:(bank_word_ok layout) machine asm
+    else asm
+  in
+  { machine; prog; options; asm; layout; pool; stats = !stats }
+
+let words c = Target.Asm.words c.asm
+
+let execute c ~inputs =
+  (* The constant pool is load-time data, part of the program image. *)
+  let image = inputs @ List.map (fun (n, v) -> (n, [| v |])) c.pool in
+  let outcome =
+    Sim.run ~width:c.machine.Target.Machine.word_bits c.machine
+      ~layout:c.layout ~inputs:image c.asm
+  in
+  (Sim.outputs outcome c.prog, outcome.Sim.cycles)

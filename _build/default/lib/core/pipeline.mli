@@ -1,0 +1,45 @@
+(** The RECORD compilation pipeline (paper Fig. 2).
+
+    [compile] takes an explicit machine description and a program through:
+    flow-graph construction and tree decomposition, algebraic variant
+    generation, iburg-style optimal tree covering, emission, address
+    assignment (AGU streams or materialized induction variables), peephole
+    cleanup, mode-change minimization, heterogeneous register assignment,
+    memory-bank assignment and layout, and code compaction — each phase
+    switched by {!Options.t}, so the same pipeline realizes both RECORD and
+    the conventional-compiler baseline of Table 1. *)
+
+exception Error of string
+
+type stats = {
+  variants_tried : int;  (** algebraic variants matched over all statements *)
+  cover_cost : int;  (** summed cost of the selected covers *)
+  peephole_removed : int;
+  mode_changes : int;  (** mode-setting instructions in the final code *)
+  agu_streams : int;  (** address streams assigned to address registers *)
+}
+
+type compiled = {
+  machine : Target.Machine.t;
+  prog : Ir.Prog.t;  (** the source program (before internal rewrites) *)
+  options : Options.t;
+  asm : Target.Asm.t;
+  layout : Target.Layout.t;
+  pool : (string * int) list;
+      (** constant-pool cells with their load-time values, part of the
+          program image the simulator initializes *)
+  stats : stats;
+}
+
+val compile : ?options:Options.t -> Target.Machine.t -> Ir.Prog.t -> compiled
+(** Default options are {!Options.record_}.
+    @raise Error when the program cannot be compiled for the machine (no
+    cover, AGU exhaustion, register pressure, mode verification failure). *)
+
+val words : compiled -> int
+(** Code size in instruction words. *)
+
+val execute : compiled -> inputs:(string * int array) list
+  -> (string * int array) list * int
+(** Runs the code on the simulator; returns the program outputs and the
+    cycle count. *)

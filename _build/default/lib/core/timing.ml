@@ -1,0 +1,39 @@
+type report = {
+  cycles : int;
+  words : int;
+  per_loop : (int * int * int) list;
+}
+
+(* Straight-line cycles of one item, collecting loop records on the way. *)
+let rec item_cycles loops = function
+  | Target.Asm.Op i -> i.Target.Instr.cycles
+  | Target.Asm.Par _ -> 1
+  | Target.Asm.Loop { count; body; _ } ->
+    let body_cycles =
+      List.fold_left (fun acc it -> acc + item_cycles loops it) 0 body
+    in
+    let total = count * body_cycles in
+    loops := (count, body_cycles, total) :: !loops;
+    total
+
+let analyze (c : Pipeline.compiled) =
+  let loops = ref [] in
+  let cycles =
+    List.fold_left
+      (fun acc it -> acc + item_cycles loops it)
+      0 c.Pipeline.asm.Target.Asm.items
+  in
+  { cycles; words = Target.Asm.words c.Pipeline.asm; per_loop = List.rev !loops }
+
+let cycles c = (analyze c).cycles
+
+let meets_deadline c ~deadline = cycles c <= deadline
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%d cycles, %d words@," r.cycles r.words;
+  List.iter
+    (fun (count, body, total) ->
+      Format.fprintf ppf "  loop x%d: %d cycles/iteration = %d@," count body
+        total)
+    r.per_loop;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,26 @@
+(** Static execution-time analysis (§3.2, requirement 4: "current compilers
+    have no notion of time-constraints … such compilers should be able to
+    calculate the speed of the code they produce").
+
+    Counted loops and branch-free statements make compiled DSP kernels
+    exactly analyzable: the static bound is not an estimate but the precise
+    cycle count, which the test suite confirms against the simulator. *)
+
+type report = {
+  cycles : int;  (** exact execution time in machine cycles *)
+  words : int;  (** code size *)
+  per_loop : (int * int * int) list;
+      (** (trip count, body cycles per iteration, total) for every loop,
+          in order of completion (innermost loops first) *)
+}
+
+val analyze : Pipeline.compiled -> report
+
+val cycles : Pipeline.compiled -> int
+(** [cycles c = (analyze c).cycles]. *)
+
+val meets_deadline : Pipeline.compiled -> deadline:int -> bool
+(** Real-time admission check: does the code finish within [deadline]
+    cycles? *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/dfl/ast.mli: Format Ir

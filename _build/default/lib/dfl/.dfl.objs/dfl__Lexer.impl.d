@@ -1,0 +1,1 @@
+lib/dfl/lexer.ml: Format List Printf String Token

@@ -1,0 +1,1 @@
+lib/dfl/lower.ml: Ast Format Ir List Parser Printf

@@ -1,0 +1,1 @@
+lib/dfl/lower.mli: Ast Ir

@@ -1,0 +1,1 @@
+lib/dfl/parser.ml: Array Ast Format Ir Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/dfl/parser.mli: Ast

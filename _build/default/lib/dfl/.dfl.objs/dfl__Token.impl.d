@@ -1,0 +1,1 @@
+lib/dfl/token.ml:

@@ -1,0 +1,1 @@
+lib/dfl/unparse.ml: Buffer Ir List Printf String

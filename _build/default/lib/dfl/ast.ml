@@ -1,0 +1,26 @@
+type expr =
+  | Num of int
+  | Name of string
+  | Index of string * expr
+  | Unary of Ir.Op.unop * expr
+  | Binary of Ir.Op.binop * expr * expr
+
+type stmt =
+  | Assign of { line : int; name : string; index : expr option; rhs : expr }
+  | For of { line : int; var : string; lo : expr; hi : expr; body : stmt list }
+
+type storage = Input | Output | Var
+
+type decl =
+  | Param of { line : int; name : string; value : expr }
+  | Storage of { line : int; storage : storage; name : string; size : expr option }
+
+type program = { name : string; decls : decl list; body : stmt list }
+
+let rec pp_expr ppf = function
+  | Num k -> Format.pp_print_int ppf k
+  | Name s -> Format.pp_print_string ppf s
+  | Index (a, e) -> Format.fprintf ppf "%s[%a]" a pp_expr e
+  | Unary (op, e) -> Format.fprintf ppf "%s(%a)" (Ir.Op.unop_name op) pp_expr e
+  | Binary (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (Ir.Op.binop_name op) pp_expr b

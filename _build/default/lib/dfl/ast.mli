@@ -1,0 +1,22 @@
+(** Abstract syntax of DFL programs, before constant evaluation. *)
+
+type expr =
+  | Num of int
+  | Name of string  (** scalar variable, parameter, or loop variable *)
+  | Index of string * expr  (** [a\[e\]] *)
+  | Unary of Ir.Op.unop * expr
+  | Binary of Ir.Op.binop * expr * expr
+
+type stmt =
+  | Assign of { line : int; name : string; index : expr option; rhs : expr }
+  | For of { line : int; var : string; lo : expr; hi : expr; body : stmt list }
+
+type storage = Input | Output | Var
+
+type decl =
+  | Param of { line : int; name : string; value : expr }
+  | Storage of { line : int; storage : storage; name : string; size : expr option }
+
+type program = { name : string; decls : decl list; body : stmt list }
+
+val pp_expr : Format.formatter -> expr -> unit

@@ -1,0 +1,8 @@
+(** Hand-written lexer. Comments are [(* ... *)], nesting allowed. *)
+
+exception Error of string
+(** Message includes the line number. *)
+
+val tokenize : string -> (Token.t * int) list
+(** Tokens with their 1-based line numbers; the list ends with [Eof].
+    @raise Error on an illegal character or unterminated comment. *)

@@ -1,0 +1,143 @@
+exception Error of string
+
+let fail line fmt =
+  Format.kasprintf
+    (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s)))
+    fmt
+
+(* Constant evaluation over parameters. *)
+let rec const_eval line params (e : Ast.expr) =
+  match e with
+  | Ast.Num k -> k
+  | Ast.Name n -> (
+    match List.assoc_opt n params with
+    | Some v -> v
+    | None -> fail line "%s is not a constant parameter" n)
+  | Ast.Unary (op, a) ->
+    Ir.Op.eval_unop op ~width:16 (const_eval line params a)
+  | Ast.Binary (op, a, b) ->
+    Ir.Op.eval_binop op (const_eval line params a) (const_eval line params b)
+  | Ast.Index _ -> fail line "array element in constant expression"
+
+let try_const line params e =
+  match const_eval line params e with
+  | v -> Some v
+  | exception Error _ -> None
+
+type scope = {
+  params : (string * int) list;
+  decls : (string * (Ir.Prog.storage * int)) list;  (* name -> storage, size *)
+  loops : string list;  (* live loop variables *)
+}
+
+let index_of line scope (a : string) (e : Ast.expr) =
+  match try_const line scope.params e with
+  | Some k -> Ir.Mref.Elem k
+  | None -> (
+    let ivar_offset ?(step = 1) name k =
+      if List.mem name scope.loops then
+        Ir.Mref.Induct { ivar = name; offset = k; step }
+      else fail line "index of %s uses %s, which is not a loop variable" a name
+    in
+    match e with
+    | Ast.Name n -> ivar_offset n 0
+    | Ast.Binary (Ir.Op.Add, Ast.Name n, off) ->
+      ivar_offset n (const_eval line scope.params off)
+    | Ast.Binary (Ir.Op.Add, off, Ast.Name n) ->
+      ivar_offset n (const_eval line scope.params off)
+    | Ast.Binary (Ir.Op.Sub, Ast.Name n, off) ->
+      ivar_offset n (-const_eval line scope.params off)
+    | Ast.Binary (Ir.Op.Sub, off, Ast.Name n) ->
+      ivar_offset ~step:(-1) n (const_eval line scope.params off)
+    | _ -> fail line "unsupported index form for %s" a)
+
+let ref_of line scope name index =
+  match List.assoc_opt name scope.decls with
+  | None ->
+    if List.mem name scope.loops then
+      fail line "loop variable %s used as a value" name
+    else fail line "undeclared variable %s" name
+  | Some (_, size) -> (
+    match index with
+    | None ->
+      if size <> 1 then fail line "array %s used without an index" name
+      else Ir.Mref.scalar name
+    | Some e ->
+      if size = 1 then fail line "scalar %s used with an index" name
+      else { Ir.Mref.base = name; index = index_of line scope name e })
+
+let rec expr line scope (e : Ast.expr) =
+  match e with
+  | Ast.Num k -> Ir.Tree.Const k
+  | Ast.Name n -> (
+    match List.assoc_opt n scope.params with
+    | Some v -> Ir.Tree.Const v
+    | None -> Ir.Tree.Ref (ref_of line scope n None))
+  | Ast.Index (a, idx) -> Ir.Tree.Ref (ref_of line scope a (Some idx))
+  | Ast.Unary (op, a) -> Ir.Tree.Unop (op, expr line scope a)
+  | Ast.Binary (op, a, b) ->
+    Ir.Tree.Binop (op, expr line scope a, expr line scope b)
+
+let rec stmt scope (s : Ast.stmt) =
+  match s with
+  | Ast.Assign { line; name; index; rhs } ->
+    (* Inputs may be assigned: DSP blocks treat delay lines and filter
+       states as in/out data. *)
+    let dst = ref_of line scope name index in
+    Ir.Prog.Stmt { dst; src = expr line scope rhs }
+  | Ast.For { line; var; lo; hi; body } ->
+    let lo = const_eval line scope.params lo in
+    let hi = const_eval line scope.params hi in
+    if lo <> 0 then fail line "loops must start at 0 (got %d)" lo;
+    if hi < lo then fail line "empty loop (0 to %d)" hi;
+    if List.mem var scope.loops then
+      fail line "loop variable %s shadows an enclosing loop" var;
+    if List.mem_assoc var scope.decls || List.mem_assoc var scope.params then
+      fail line "loop variable %s shadows a declaration" var;
+    let inner = { scope with loops = var :: scope.loops } in
+    Ir.Prog.Loop { ivar = var; count = hi + 1; body = List.map (stmt inner) body }
+
+let program (p : Ast.program) =
+  let params, decls =
+    List.fold_left
+      (fun (params, decls) d ->
+        match d with
+        | Ast.Param { line; name; value } ->
+          if List.mem_assoc name params || List.mem_assoc name decls then
+            fail line "duplicate declaration of %s" name;
+          ((name, const_eval line params value) :: params, decls)
+        | Ast.Storage { line; storage; name; size } ->
+          if List.mem_assoc name params || List.mem_assoc name decls then
+            fail line "duplicate declaration of %s" name;
+          let storage =
+            match storage with
+            | Ast.Input -> Ir.Prog.Input
+            | Ast.Output -> Ir.Prog.Output
+            | Ast.Var -> Ir.Prog.Temp
+          in
+          let size =
+            match size with
+            | None -> 1
+            | Some e ->
+              let v = const_eval line params e in
+              if v < 1 then fail line "array %s has size %d" name v;
+              v
+          in
+          (params, (name, (storage, size)) :: decls))
+      ([], []) p.decls
+  in
+  let params = List.rev params and decls = List.rev decls in
+  let scope = { params; decls; loops = [] } in
+  let body = List.map (stmt scope) p.body in
+  let ir_decls =
+    List.map
+      (fun (name, (storage, size)) -> { Ir.Prog.name; size; storage })
+      decls
+  in
+  match
+    Ir.Prog.validate { Ir.Prog.name = p.name; decls = ir_decls; body }
+  with
+  | Ok () -> { Ir.Prog.name = p.name; decls = ir_decls; body }
+  | Error msg -> raise (Error (Printf.sprintf "%s: %s" p.name msg))
+
+let source src = program (Parser.parse src)

@@ -1,0 +1,22 @@
+(** Lowering DFL to the data-flow IR: parameter evaluation, semantic checks,
+    flow-graph generation (paper Fig. 2's "frontend: parsing, flow graph
+    generation"). *)
+
+exception Error of string
+(** Message includes the source line. *)
+
+val program : Ast.program -> Ir.Prog.t
+(** Checks and lowers a parsed program:
+    - parameters evaluate to constants, in declaration order;
+    - array sizes are positive constants;
+    - loops run from 0 to a constant bound, loop variables do not shadow;
+    - indices are constant, [i], [i ± k], or [k - i] with [i] a loop
+      variable (the last form is a descending stream);
+    - loop variables are not used as values.
+
+    Inputs may be assigned: DSP blocks treat delay lines and filter states
+    as in/out data.
+    @raise Error otherwise. *)
+
+val source : string -> Ir.Prog.t
+(** Parse and lower. @raise Parser.Error / Lexer.Error / Error. *)

@@ -1,0 +1,207 @@
+exception Error of string
+
+type state = { mutable toks : (Token.t * int) list }
+
+let peek st =
+  match st.toks with (t, _) :: _ -> t | [] -> Token.Eof
+
+let line st =
+  match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail st fmt =
+  Format.kasprintf
+    (fun s -> raise (Error (Printf.sprintf "line %d: %s" (line st) s)))
+    fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st "expected %s, found %s" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let ident st =
+  match peek st with
+  | Token.Ident name ->
+    advance st;
+    name
+  | t -> fail st "expected identifier, found %s" (Token.to_string t)
+
+(* ---- Expressions -------------------------------------------------------- *)
+
+let rec expr st = binary st 0
+
+(* Precedence levels, loosest first. *)
+and levels =
+  [|
+    [ (Token.Pipe, Ir.Op.Or) ];
+    [ (Token.Caret, Ir.Op.Xor) ];
+    [ (Token.Amp, Ir.Op.And) ];
+    [ (Token.Shl, Ir.Op.Shl); (Token.Shr, Ir.Op.Shr) ];
+    [ (Token.Plus, Ir.Op.Add); (Token.Minus, Ir.Op.Sub) ];
+    [ (Token.Star, Ir.Op.Mul) ];
+  |]
+
+and binary st level =
+  if level >= Array.length levels then unary st
+  else begin
+    let lhs = ref (binary st (level + 1)) in
+    let continue_ = ref true in
+    while !continue_ do
+      match List.assoc_opt (peek st) levels.(level) with
+      | Some op ->
+        advance st;
+        let rhs = binary st (level + 1) in
+        lhs := Ast.Binary (op, !lhs, rhs)
+      | None -> continue_ := false
+    done;
+    !lhs
+  end
+
+and unary st =
+  match peek st with
+  | Token.Minus ->
+    advance st;
+    Ast.Unary (Ir.Op.Neg, unary st)
+  | Token.Tilde ->
+    advance st;
+    Ast.Unary (Ir.Op.Not, unary st)
+  | Token.Ksat ->
+    advance st;
+    expect st Token.Lparen;
+    let e = expr st in
+    expect st Token.Rparen;
+    Ast.Unary (Ir.Op.Sat, e)
+  | _ -> primary st
+
+and primary st =
+  match peek st with
+  | Token.Int k ->
+    advance st;
+    Ast.Num k
+  | Token.Lparen ->
+    advance st;
+    let e = expr st in
+    expect st Token.Rparen;
+    e
+  | Token.Ident name -> (
+    advance st;
+    match peek st with
+    | Token.Lbracket ->
+      advance st;
+      let idx = expr st in
+      expect st Token.Rbracket;
+      Ast.Index (name, idx)
+    | _ -> Ast.Name name)
+  | t -> fail st "expected expression, found %s" (Token.to_string t)
+
+(* ---- Statements --------------------------------------------------------- *)
+
+let rec stmt st =
+  match peek st with
+  | Token.Kfor ->
+    let l = line st in
+    advance st;
+    let var = ident st in
+    expect st Token.Assign;
+    let lo = expr st in
+    expect st Token.Kto;
+    let hi = expr st in
+    expect st Token.Kdo;
+    let body = stmts st in
+    expect st Token.Kend;
+    if peek st = Token.Semi then advance st;
+    Ast.For { line = l; var; lo; hi; body }
+  | Token.Ident name -> (
+    let l = line st in
+    advance st;
+    match peek st with
+    | Token.Lbracket ->
+      advance st;
+      let idx = expr st in
+      expect st Token.Rbracket;
+      expect st Token.Assign;
+      let rhs = expr st in
+      expect st Token.Semi;
+      Ast.Assign { line = l; name; index = Some idx; rhs }
+    | _ ->
+      expect st Token.Assign;
+      let rhs = expr st in
+      expect st Token.Semi;
+      Ast.Assign { line = l; name; index = None; rhs })
+  | t -> fail st "expected statement, found %s" (Token.to_string t)
+
+and stmts st =
+  if peek st = Token.Kend || peek st = Token.Eof then []
+  else
+    let s = stmt st in
+    s :: stmts st
+
+(* ---- Declarations ------------------------------------------------------- *)
+
+let storage_names st storage =
+  let l = line st in
+  let one () =
+    let name = ident st in
+    let size =
+      if peek st = Token.Lbracket then begin
+        advance st;
+        let e = expr st in
+        expect st Token.Rbracket;
+        Some e
+      end
+      else None
+    in
+    Ast.Storage { line = l; storage; name; size }
+  in
+  let rec more acc =
+    if peek st = Token.Comma then begin
+      advance st;
+      more (one () :: acc)
+    end
+    else List.rev acc
+  in
+  let first = one () in
+  let ds = more [ first ] in
+  expect st Token.Semi;
+  ds
+
+let rec decls st =
+  match peek st with
+  | Token.Kparam ->
+    let l = line st in
+    advance st;
+    let name = ident st in
+    expect st Token.Assign;
+    let value = expr st in
+    expect st Token.Semi;
+    Ast.Param { line = l; name; value } :: decls st
+  | Token.Kinput ->
+    advance st;
+    let ds = storage_names st Ast.Input in
+    ds @ decls st
+  | Token.Koutput ->
+    advance st;
+    let ds = storage_names st Ast.Output in
+    ds @ decls st
+  | Token.Kvar ->
+    advance st;
+    let ds = storage_names st Ast.Var in
+    ds @ decls st
+  | _ -> []
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  expect st Token.Kprogram;
+  let name = ident st in
+  expect st Token.Semi;
+  let ds = decls st in
+  expect st Token.Kbegin;
+  let body = stmts st in
+  expect st Token.Kend;
+  (match peek st with
+  | Token.Eof -> ()
+  | t -> fail st "trailing input: %s" (Token.to_string t));
+  { Ast.name; decls = ds; body }

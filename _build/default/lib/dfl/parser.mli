@@ -1,0 +1,11 @@
+(** Recursive-descent parser.
+
+    Precedence, loosest first: [|], [^], [&], [<< >>], [+ -], [*], unary
+    ([-], [~], [sat(...)]). All binary operators associate to the left. *)
+
+exception Error of string
+(** Message includes the line number. *)
+
+val parse : string -> Ast.program
+(** @raise Error on a syntax error.
+    @raise Lexer.Error on a lexical error. *)

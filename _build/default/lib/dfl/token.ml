@@ -1,0 +1,63 @@
+type t =
+  | Ident of string
+  | Int of int
+  | Kprogram
+  | Kparam
+  | Kinput
+  | Koutput
+  | Kvar
+  | Kbegin
+  | Kend
+  | Kfor
+  | Kto
+  | Kdo
+  | Ksat
+  | Plus
+  | Minus
+  | Star
+  | Shl
+  | Shr
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Assign
+  | Semi
+  | Comma
+  | Eof
+
+let to_string = function
+  | Ident s -> s
+  | Int k -> string_of_int k
+  | Kprogram -> "program"
+  | Kparam -> "param"
+  | Kinput -> "input"
+  | Koutput -> "output"
+  | Kvar -> "var"
+  | Kbegin -> "begin"
+  | Kend -> "end"
+  | Kfor -> "for"
+  | Kto -> "to"
+  | Kdo -> "do"
+  | Ksat -> "sat"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Assign -> "="
+  | Semi -> ";"
+  | Comma -> ","
+  | Eof -> "<eof>"

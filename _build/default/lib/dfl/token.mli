@@ -1,0 +1,35 @@
+(** Tokens of the DFL-flavoured source language. *)
+
+type t =
+  | Ident of string
+  | Int of int
+  | Kprogram
+  | Kparam
+  | Kinput
+  | Koutput
+  | Kvar
+  | Kbegin
+  | Kend
+  | Kfor
+  | Kto
+  | Kdo
+  | Ksat
+  | Plus
+  | Minus
+  | Star
+  | Shl  (** [<<] *)
+  | Shr  (** [>>] *)
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Assign  (** [=] *)
+  | Semi
+  | Comma
+  | Eof
+
+val to_string : t -> string

@@ -1,0 +1,70 @@
+exception Not_printable of string
+
+let check_name name =
+  if name = "" then raise (Not_printable "empty name");
+  let ok0 c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let ok c = ok0 c || (c >= '0' && c <= '9') in
+  if not (ok0 name.[0] && String.for_all ok name) then
+    raise (Not_printable (name ^ " is not a DFL identifier"));
+  name
+
+let index = function
+  | Ir.Mref.Direct -> ""
+  | Ir.Mref.Elem k -> Printf.sprintf "[%d]" k
+  | Ir.Mref.Induct { ivar; offset = 0; step = 1 } ->
+    Printf.sprintf "[%s]" ivar
+  | Ir.Mref.Induct { ivar; offset; step = 1 } when offset >= 0 ->
+    Printf.sprintf "[%s + %d]" ivar offset
+  | Ir.Mref.Induct { ivar; offset; step = 1 } ->
+    Printf.sprintf "[%s - %d]" ivar (-offset)
+  | Ir.Mref.Induct { ivar; offset; step = _ } ->
+    Printf.sprintf "[%d - %s]" offset ivar
+
+let mref (r : Ir.Mref.t) = check_name r.base ^ index r.index
+
+let binop_symbol = function
+  | Ir.Op.Add -> "+"
+  | Ir.Op.Sub -> "-"
+  | Ir.Op.Mul -> "*"
+  | Ir.Op.And -> "&"
+  | Ir.Op.Or -> "|"
+  | Ir.Op.Xor -> "^"
+  | Ir.Op.Shl -> "<<"
+  | Ir.Op.Shr -> ">>"
+
+let rec expr = function
+  | Ir.Tree.Const k -> if k < 0 then Printf.sprintf "(0 - %d)" (-k) else string_of_int k
+  | Ir.Tree.Ref r -> mref r
+  | Ir.Tree.Unop (Ir.Op.Neg, a) -> Printf.sprintf "(-%s)" (expr a)
+  | Ir.Tree.Unop (Ir.Op.Not, a) -> Printf.sprintf "(~%s)" (expr a)
+  | Ir.Tree.Unop (Ir.Op.Sat, a) -> Printf.sprintf "sat(%s)" (expr a)
+  | Ir.Tree.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (binop_symbol op) (expr b)
+
+let program (p : Ir.Prog.t) =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "program %s;\n" (check_name p.name);
+  List.iter
+    (fun (d : Ir.Prog.decl) ->
+      let kind =
+        match d.storage with
+        | Ir.Prog.Input -> "input"
+        | Ir.Prog.Output -> "output"
+        | Ir.Prog.Temp -> "var"
+      in
+      if d.size = 1 then out "%s %s;\n" kind (check_name d.name)
+      else out "%s %s[%d];\n" kind (check_name d.name) d.size)
+    p.decls;
+  out "begin\n";
+  let rec item indent = function
+    | Ir.Prog.Stmt { dst; src } ->
+      out "%s%s = %s;\n" indent (mref dst) (expr src)
+    | Ir.Prog.Loop { ivar; count; body } ->
+      out "%sfor %s = 0 to %d do\n" indent (check_name ivar) (count - 1);
+      List.iter (item (indent ^ "  ")) body;
+      out "%send;\n" indent
+  in
+  List.iter (item "  ") p.body;
+  out "end\n";
+  Buffer.contents buf

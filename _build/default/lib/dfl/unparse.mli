@@ -1,0 +1,14 @@
+(** Rendering IR programs back to DFL source.
+
+    Useful for exporting generated or transformed programs and for
+    round-trip testing of the frontend. Compiler-internal names (starting
+    with ['$']) are not legal DFL identifiers.
+
+    The output is fully parenthesized, so [Lower.source (program p)] always
+    reproduces a program with the same semantics as [p]. *)
+
+exception Not_printable of string
+(** A declaration or reference uses a name that DFL cannot express. *)
+
+val expr : Ir.Tree.t -> string
+val program : Ir.Prog.t -> string

@@ -1,0 +1,1 @@
+lib/dspstone/handasm.ml: Ir Kernels List Target

@@ -1,0 +1,1 @@
+lib/dspstone/handasm.mli: Kernels Target

@@ -1,0 +1,1 @@
+lib/dspstone/kernels.ml: Array Dfl Ir List

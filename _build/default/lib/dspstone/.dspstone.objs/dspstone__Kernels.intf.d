@@ -1,0 +1,1 @@
+lib/dspstone/kernels.mli: Ir

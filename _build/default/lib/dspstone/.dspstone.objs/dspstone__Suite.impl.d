@@ -1,0 +1,1 @@
+lib/dspstone/suite.ml: Float Format Handasm Ir Kernels List Printf Record Result Sim Target

@@ -1,0 +1,1 @@
+lib/dspstone/suite.mli: Format Kernels

@@ -1,0 +1,228 @@
+(* Hand-written code uses physical registers directly: ar7 is the loop
+   counter by convention, ar0..ar6 walk address streams. Def/use sets are
+   left empty — hand code bypasses the compiler passes and is only ever
+   simulated. *)
+
+let dir name = Target.Instr.Dir (Ir.Mref.scalar name)
+let el a k = Target.Instr.Dir (Ir.Mref.elem a k)
+let adr a k = Target.Instr.Adr (Ir.Mref.elem a k)
+let imm k = Target.Instr.Imm k
+let areg i = Target.Instr.Reg (Target.Tic25.ar i)
+let ind i = Target.Instr.Ind (areg i, Target.Instr.No_update, None)
+let inc i = Target.Instr.Ind (areg i, Target.Instr.Post_inc, None)
+let dec i = Target.Instr.Ind (areg i, Target.Instr.Post_dec, None)
+
+let op0 name = Target.Asm.Op (Target.Instr.make name)
+let op name operands = Target.Asm.Op (Target.Instr.make name ~operands)
+
+let lark i v = op "LARK" [ areg i; v ]
+
+let banz i =
+  Target.Asm.Op
+    (Target.Instr.make "BANZ" ~operands:[ areg i ] ~words:2 ~cycles:2
+       ~funit:"ctl")
+
+let loop n body = Target.Asm.Loop { ivar = None; count = n; body }
+
+let rptmac n o1 o2 =
+  Target.Asm.Op
+    (Target.Instr.make "RPTMAC"
+       ~operands:[ imm n; o1; o2 ]
+       ~words:2 ~cycles:n)
+
+let lt m = op "LT" [ m ]
+let mpy m = op "MPY" [ m ]
+let lac m = op "LAC" [ m ]
+let sacl m = op "SACL" [ m ]
+
+let asm name items = Target.Asm.make ~name:(name ^ " (hand)") items
+
+let real_update =
+  asm "real_update"
+    [ lt (dir "a"); mpy (dir "b"); lac (dir "c"); op0 "APAC"; sacl (dir "d") ]
+
+(* T-register reuse: after cr, T still holds ai. *)
+let complex_multiply =
+  asm "complex_multiply"
+    [
+      lt (dir "ar"); mpy (dir "br"); op0 "PAC";
+      lt (dir "ai"); mpy (dir "bi"); op0 "SPAC"; sacl (dir "cr");
+      mpy (dir "br"); op0 "PAC";
+      lt (dir "ar"); mpy (dir "bi"); op0 "APAC"; sacl (dir "ci");
+    ]
+
+let complex_update =
+  asm "complex_update"
+    [
+      lt (dir "ar"); mpy (dir "br"); lac (dir "cr"); op0 "APAC";
+      lt (dir "ai"); mpy (dir "bi"); op0 "SPAC"; sacl (dir "dr");
+      mpy (dir "br"); lac (dir "ci"); op0 "APAC";
+      lt (dir "ar"); mpy (dir "bi"); op0 "APAC"; sacl (dir "di");
+    ]
+
+let n_real_updates =
+  asm "n_real_updates"
+    [
+      lark 7 (imm 15);
+      lark 1 (adr "a" 0); lark 2 (adr "b" 0);
+      lark 3 (adr "c" 0); lark 4 (adr "d" 0);
+      loop 16
+        [
+          lt (inc 1); mpy (inc 2); lac (inc 3); op0 "APAC"; sacl (inc 4);
+          banz 7;
+        ];
+    ]
+
+let n_complex_updates =
+  asm "n_complex_updates"
+    [
+      (* real parts *)
+      lark 7 (imm 15);
+      lark 1 (adr "ar" 0); lark 2 (adr "br" 0); lark 3 (adr "ai" 0);
+      lark 4 (adr "bi" 0); lark 5 (adr "cr" 0); lark 6 (adr "dr" 0);
+      loop 16
+        [
+          lt (inc 1); mpy (inc 2); lac (inc 5); op0 "APAC";
+          lt (inc 3); mpy (inc 4); op0 "SPAC"; sacl (inc 6);
+          banz 7;
+        ];
+      (* imaginary parts *)
+      lark 7 (imm 15);
+      lark 1 (adr "ar" 0); lark 2 (adr "br" 0); lark 3 (adr "ai" 0);
+      lark 4 (adr "bi" 0); lark 5 (adr "ci" 0); lark 6 (adr "di" 0);
+      loop 16
+        [
+          lt (inc 1); mpy (inc 4); lac (inc 5); op0 "APAC";
+          lt (inc 3); mpy (inc 2); op0 "APAC"; sacl (inc 6);
+          banz 7;
+        ];
+    ]
+
+(* Delay-line shift, then a RPT/MAC inner product. *)
+let fir =
+  asm "fir"
+    [
+      lark 7 (imm 14);
+      lark 1 (adr "x" 1); lark 2 (adr "x" 0);
+      loop 15 [ lac (inc 1); sacl (inc 2); banz 7 ];
+      lac (dir "x0"); sacl (el "x" 15);
+      op0 "ZAC"; op "MPYK" [ imm 0 ];
+      lark 3 (adr "c" 0); lark 4 (adr "x" 0);
+      rptmac 16 (inc 3) (inc 4);
+      op0 "APAC"; sacl (dir "y");
+    ]
+
+(* DMOV implements w2 <- w1 in one word (w2 sits right after w1). *)
+let iir_biquad_one_section =
+  asm "iir_biquad_one_section"
+    [
+      lt (dir "a1"); mpy (dir "w1"); lac (dir "x0"); op0 "SPAC";
+      lt (dir "a2"); mpy (dir "w2"); op0 "SPAC"; sacl (dir "w");
+      lt (dir "b0"); mpy (dir "w"); op0 "PAC";
+      lt (dir "b1"); mpy (dir "w1"); op0 "APAC";
+      lt (dir "b2"); mpy (dir "w2"); op0 "APAC"; sacl (dir "y");
+      op "DMOV" [ dir "w1" ];
+      lac (dir "w"); sacl (dir "w1");
+    ]
+
+let iir_biquad_n_sections =
+  asm "iir_biquad_n_sections"
+    [
+      lac (dir "x0"); sacl (dir "t");
+      lark 7 (imm 3);
+      lark 0 (adr "a1" 0); lark 1 (adr "a2" 0);
+      lark 2 (adr "b0" 0); lark 3 (adr "b1" 0); lark 4 (adr "b2" 0);
+      lark 5 (adr "w1" 0); lark 6 (adr "w2" 0);
+      loop 4
+        [
+          lt (inc 0); mpy (ind 5); lac (dir "t"); op0 "SPAC";
+          lt (inc 1); mpy (ind 6); op0 "SPAC"; sacl (dir "w");
+          lt (inc 2); mpy (dir "w"); op0 "PAC";
+          lt (inc 3); mpy (ind 5); op0 "APAC";
+          lt (inc 4); mpy (ind 6); op0 "APAC"; sacl (dir "t");
+          lac (ind 5); sacl (inc 6);
+          lac (dir "w"); sacl (inc 5);
+          banz 7;
+        ];
+      lac (dir "t"); sacl (dir "y");
+    ]
+
+let dot_product =
+  asm "dot_product"
+    [
+      op0 "ZAC"; op "MPYK" [ imm 0 ];
+      lark 1 (adr "a" 0); lark 2 (adr "b" 0);
+      rptmac 16 (inc 1) (inc 2);
+      op0 "APAC"; sacl (dir "z");
+    ]
+
+(* The signal is walked backwards with a post-decrementing register. *)
+let convolution =
+  asm "convolution"
+    [
+      op0 "ZAC"; op "MPYK" [ imm 0 ];
+      lark 1 (adr "h" 0); lark 2 (adr "x" 15);
+      rptmac 16 (inc 1) (dec 2);
+      op0 "APAC"; sacl (dir "y");
+    ]
+
+(* LMS hoists the loop-invariant 2*e into T before the adaptation loop,
+   reusing the (dead after the filter) acc cell as scratch. *)
+let lms =
+  asm "lms"
+    [
+      lark 7 (imm 6);
+      lark 1 (adr "x" 1); lark 2 (adr "x" 0);
+      loop 7 [ lac (inc 1); sacl (inc 2); banz 7 ];
+      lac (dir "x0"); sacl (el "x" 7);
+      op0 "ZAC"; op "MPYK" [ imm 0 ];
+      lark 3 (adr "c" 0); lark 4 (adr "x" 0);
+      rptmac 8 (inc 3) (inc 4);
+      op0 "APAC"; sacl (dir "y");
+      lac (dir "d"); op "SUB" [ dir "y" ]; sacl (dir "e");
+      lac (dir "e"); op0 "SFL"; sacl (dir "acc");
+      lt (dir "acc");
+      lark 7 (imm 7);
+      lark 5 (adr "c" 0); lark 6 (adr "x" 0);
+      loop 8
+        [
+          mpy (inc 6);
+          lac (ind 5); op0 "APAC"; sacl (inc 5);
+          banz 7;
+        ];
+    ]
+
+let matrix_row y m =
+  [
+    op0 "ZAC"; op "MPYK" [ imm 0 ];
+    lark 1 (adr m 0); lark 2 (adr "x" 0);
+    rptmac 3 (inc 1) (inc 2);
+    op0 "APAC"; sacl (dir y);
+  ]
+
+let matrix_1x3 =
+  asm "matrix_1x3"
+    (matrix_row "y0" "m0" @ matrix_row "y1" "m1" @ matrix_row "y2" "m2")
+
+let all =
+  [
+    ("real_update", real_update);
+    ("complex_multiply", complex_multiply);
+    ("complex_update", complex_update);
+    ("n_real_updates", n_real_updates);
+    ("n_complex_updates", n_complex_updates);
+    ("fir", fir);
+    ("iir_biquad_one_section", iir_biquad_one_section);
+    ("iir_biquad_n_sections", iir_biquad_n_sections);
+    ("dot_product", dot_product);
+    ("convolution", convolution);
+    ("lms", lms);
+    ("matrix_1x3", matrix_1x3);
+  ]
+
+let find name = List.assoc name all
+
+let layout_for (k : Kernels.t) =
+  Target.Layout.of_prog
+    ~banks:Target.Tic25.machine.Target.Machine.banks (Kernels.prog k)
+    ~extra:[]

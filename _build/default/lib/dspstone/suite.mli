@@ -1,0 +1,35 @@
+(** The DSPStone evaluation harness: compiles every kernel with both the
+    RECORD and the conventional configuration, validates all code (hand
+    assembly included) against the reference interpreter, and produces the
+    rows of the paper's Table 1. *)
+
+type row = {
+  kernel : string;
+  hand_words : int;
+  conv_words : int;  (** the "TI C compiler" column *)
+  record_words : int;
+  hand_cycles : int;
+  conv_cycles : int;
+  record_cycles : int;
+}
+
+val conv_pct : row -> int
+(** Conventional-compiler code size as a percentage of hand assembly. *)
+
+val record_pct : row -> int
+
+val run_hand : Kernels.t -> (string * int array) list * int
+(** Simulates the hand assembly; returns outputs and cycles. *)
+
+val validate : Kernels.t -> (unit, string) result
+(** Checks hand, conventional, and RECORD code all reproduce the reference
+    interpreter's outputs on the kernel's inputs. *)
+
+val table1 : unit -> row list
+(** All ten kernels, compiled and measured on the C25 machine. *)
+
+val extended : unit -> row list
+(** The extended kernels (LMS, matrix), measured the same way. *)
+
+val pp_table1 : Format.formatter -> row list -> unit
+(** Renders the Table 1 reproduction (sizes as % of hand assembly). *)

@@ -1,0 +1,1 @@
+lib/ir/algebra.ml: Array Hashtbl List Mref Op Queue Tree

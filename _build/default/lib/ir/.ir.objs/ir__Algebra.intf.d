@@ -1,0 +1,1 @@
+lib/ir/algebra.mli: Tree

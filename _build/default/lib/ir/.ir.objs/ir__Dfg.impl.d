@@ -1,0 +1,1 @@
+lib/ir/dfg.ml: Array Hashtbl List Mref Op Option Printf Prog Tree

@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Array Hashtbl List Mref Op Printf Prog Tree

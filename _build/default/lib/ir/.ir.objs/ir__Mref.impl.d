@@ -1,0 +1,1 @@
+lib/ir/mref.ml: Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/ir/tree.ml: Format List Mref Op Printf Stdlib String

@@ -1,0 +1,146 @@
+type rule = Commute | Assoc | Mul_to_shift | Fold
+
+let default_rules = [ Commute; Assoc; Mul_to_shift ]
+
+let is_pow2 k = k > 0 && k land (k - 1) = 0
+
+let log2 k =
+  let rec go n k = if k <= 1 then n else go (n + 1) (k lsr 1) in
+  go 0 k
+
+(* Rewrites applicable at the root of a tree. *)
+let root_rewrites rules t =
+  let add rule mk acc = if List.mem rule rules then mk acc else acc in
+  let acc = [] in
+  let acc =
+    add Commute
+      (fun acc ->
+        match t with
+        | Tree.Binop (op, a, b) when Op.commutative op ->
+          Tree.Binop (op, b, a) :: acc
+        | _ -> acc)
+      acc
+  in
+  let acc =
+    add Assoc
+      (fun acc ->
+        match t with
+        | Tree.Binop (op, Tree.Binop (op', a, b), c)
+          when op = op' && Op.associative op ->
+          Tree.Binop (op, a, Tree.Binop (op, b, c)) :: acc
+        | Tree.Binop (op, a, Tree.Binop (op', b, c))
+          when op = op' && Op.associative op ->
+          Tree.Binop (op, Tree.Binop (op, a, b), c) :: acc
+        | _ -> acc)
+      acc
+  in
+  let acc =
+    add Mul_to_shift
+      (fun acc ->
+        match t with
+        | Tree.Binop (Op.Mul, a, Tree.Const k) when is_pow2 k ->
+          Tree.Binop (Op.Shl, a, Tree.Const (log2 k)) :: acc
+        | Tree.Binop (Op.Mul, Tree.Const k, a) when is_pow2 k ->
+          Tree.Binop (Op.Shl, a, Tree.Const (log2 k)) :: acc
+        | Tree.Binop (Op.Shl, a, Tree.Const k) when k >= 0 && k < 15 ->
+          Tree.Binop (Op.Mul, a, Tree.Const (1 lsl k)) :: acc
+        | _ -> acc)
+      acc
+  in
+  let acc =
+    add Fold
+      (fun acc ->
+        match t with
+        | Tree.Binop (op, Tree.Const a, Tree.Const b) ->
+          Tree.Const (Op.eval_binop op a b) :: acc
+        | Tree.Binop (Op.Add, a, Tree.Const 0)
+        | Tree.Binop (Op.Add, Tree.Const 0, a)
+        | Tree.Binop (Op.Mul, a, Tree.Const 1)
+        | Tree.Binop (Op.Mul, Tree.Const 1, a)
+        | Tree.Binop (Op.Sub, a, Tree.Const 0) ->
+          a :: acc
+        | Tree.Binop (Op.Mul, _, Tree.Const 0)
+        | Tree.Binop (Op.Mul, Tree.Const 0, _) ->
+          Tree.Const 0 :: acc
+        | Tree.Unop (Op.Neg, Tree.Unop (Op.Neg, a)) -> a :: acc
+        | Tree.Unop (Op.Neg, Tree.Const k) -> Tree.Const (-k) :: acc
+        | _ -> acc)
+      acc
+  in
+  acc
+
+(* One-step rewrites anywhere in the tree. *)
+let rec rewrites rules t =
+  let here = root_rewrites rules t in
+  let below =
+    match t with
+    | Tree.Const _ | Tree.Ref _ -> []
+    | Tree.Unop (op, a) ->
+      List.map (fun a' -> Tree.Unop (op, a')) (rewrites rules a)
+    | Tree.Binop (op, a, b) ->
+      List.map (fun a' -> Tree.Binop (op, a', b)) (rewrites rules a)
+      @ List.map (fun b' -> Tree.Binop (op, a, b')) (rewrites rules b)
+  in
+  here @ below
+
+let variants ?(rules = default_rules) ?(limit = 64) t =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen t ();
+  let out = ref [ t ] in
+  let queue = Queue.create () in
+  Queue.add t queue;
+  let n = ref 1 in
+  let rec drain () =
+    if (not (Queue.is_empty queue)) && !n < limit then begin
+      let cur = Queue.pop queue in
+      let fresh =
+        List.filter (fun t' -> not (Hashtbl.mem seen t')) (rewrites rules cur)
+      in
+      List.iter
+        (fun t' ->
+          if !n < limit then begin
+            Hashtbl.replace seen t' ();
+            out := t' :: !out;
+            incr n;
+            Queue.add t' queue
+          end)
+        fresh;
+      drain ()
+    end
+  in
+  drain ();
+  List.rev !out
+
+(* Semantic-equality spot check: evaluate both trees under a battery of
+   assignments to their references. A disagreement proves inequivalence; for
+   the linear/bitwise operator set, agreement on this battery is a very strong
+   signal and suffices for tests. *)
+let equivalent ?(width = 16) a b =
+  let refs =
+    List.sort_uniq Mref.compare (Tree.refs a @ Tree.refs b)
+  in
+  let samples = [| 0; 1; -1; 2; 3; 5; 7; -8; 100; -100; 255; 1023; -32768 |] in
+  let eval t assign =
+    let rec go = function
+      | Tree.Const k -> k
+      | Tree.Ref r -> List.assoc r assign
+      | Tree.Unop (op, x) -> Op.eval_unop op ~width (go x)
+      | Tree.Binop (op, x, y) -> Op.eval_binop op (go x) (go y)
+    in
+    go t
+  in
+  let n = List.length refs in
+  let trials = 40 in
+  let ok = ref true in
+  for trial = 0 to trials - 1 do
+    let assign =
+      List.mapi
+        (fun i r ->
+          let v = samples.(((trial * 31) + (i * 7) + 13) mod Array.length samples) in
+          (r, v))
+        refs
+    in
+    ignore n;
+    if eval a assign <> eval b assign then ok := false
+  done;
+  !ok

@@ -1,0 +1,32 @@
+(** Algebraic tree transformations.
+
+    RECORD (§4.3.3) generates equivalent variants of each data-flow tree with
+    algebraic rules, matches each variant, and keeps the cheapest cover. This
+    module produces a bounded, deduplicated set of semantically equal trees.
+
+    Constant folding and identity simplification live behind [`Fold`] because
+    the paper's RECORD explicitly does {e not} perform them; enabling them is
+    an ablation. *)
+
+type rule =
+  | Commute  (** a ⊕ b → b ⊕ a for commutative ⊕ *)
+  | Assoc  (** (a ⊕ b) ⊕ c ↔ a ⊕ (b ⊕ c) for associative ⊕ *)
+  | Mul_to_shift  (** a * 2^k ↔ a shl k *)
+  | Fold  (** constant folding and x+0, x*1, x*0, --x identities *)
+
+val default_rules : rule list
+(** [Commute; Assoc; Mul_to_shift] — the paper's configuration. *)
+
+val rewrites : rule list -> Tree.t -> Tree.t list
+(** All trees reachable from the argument by one application of one rule at
+    one position (without the argument itself). *)
+
+val variants : ?rules:rule list -> ?limit:int -> Tree.t -> Tree.t list
+(** Breadth-first closure of {!rewrites} starting from the tree, deduplicated
+    structurally, capped at [limit] results (default 64). The original tree is
+    always the first element. *)
+
+val equivalent : ?width:int -> Tree.t -> Tree.t -> bool
+(** Checks semantic equality on a deterministic battery of assignments to the
+    trees' references (used by tests; sound for the rule set above, which is
+    semantics-preserving by construction). *)

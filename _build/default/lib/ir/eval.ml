@@ -1,0 +1,85 @@
+type env = { cells : (string, int array) Hashtbl.t; width : int }
+
+let wrap ~width v =
+  let m = 1 lsl width in
+  let v = v land (m - 1) in
+  if v >= m lsr 1 then v - m else v
+
+let env_create ?(width = 16) (prog : Prog.t) =
+  let cells = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Prog.decl) -> Hashtbl.replace cells d.name (Array.make d.size 0))
+    prog.decls;
+  { cells; width }
+
+let env_set env name values =
+  match Hashtbl.find_opt env.cells name with
+  | None -> invalid_arg (Printf.sprintf "Eval.env_set: undeclared %s" name)
+  | Some cell ->
+    if Array.length values <> Array.length cell then
+      invalid_arg
+        (Printf.sprintf "Eval.env_set: %s expects %d values, got %d" name
+           (Array.length cell) (Array.length values));
+    Array.iteri (fun i v -> cell.(i) <- wrap ~width:env.width v) values
+
+let env_get env name =
+  match Hashtbl.find_opt env.cells name with
+  | None -> raise Not_found
+  | Some cell -> Array.copy cell
+
+let width env = env.width
+
+let addr_of env ivals (r : Mref.t) =
+  let cell =
+    match Hashtbl.find_opt env.cells r.base with
+    | Some c -> c
+    | None -> invalid_arg ("Eval: undeclared " ^ r.base)
+  in
+  let idx =
+    match r.index with
+    | Mref.Direct -> 0
+    | Mref.Elem k -> k
+    | Mref.Induct { ivar; offset; step } -> (
+      match List.assoc_opt ivar ivals with
+      | Some i -> offset + (step * i)
+      | None -> invalid_arg ("Eval: unbound induction variable " ^ ivar))
+  in
+  (cell, idx)
+
+let load env ivals r =
+  let cell, idx = addr_of env ivals r in
+  cell.(idx)
+
+let store env ivals r v =
+  let cell, idx = addr_of env ivals r in
+  cell.(idx) <- wrap ~width:env.width v
+
+let rec eval_tree env ivals = function
+  | Tree.Const k -> k
+  | Tree.Ref r -> load env ivals r
+  | Tree.Unop (op, a) -> Op.eval_unop op ~width:env.width (eval_tree env ivals a)
+  | Tree.Binop (op, a, b) ->
+    Op.eval_binop op (eval_tree env ivals a) (eval_tree env ivals b)
+
+let rec run_item env ivals = function
+  | Prog.Stmt { dst; src } -> store env ivals dst (eval_tree env ivals src)
+  | Prog.Loop { ivar; count; body } ->
+    for i = 0 to count - 1 do
+      List.iter (run_item env ((ivar, i) :: ivals)) body
+    done
+
+let run env (prog : Prog.t) = List.iter (run_item env []) prog.body
+
+let outputs env (prog : Prog.t) =
+  List.filter_map
+    (fun (d : Prog.decl) ->
+      match d.storage with
+      | Prog.Output -> Some (d.name, env_get env d.name)
+      | Prog.Input | Prog.Temp -> None)
+    prog.decls
+
+let run_with_inputs ?width prog inputs =
+  let env = env_create ?width prog in
+  List.iter (fun (name, values) -> env_set env name values) inputs;
+  run env prog;
+  outputs env prog

@@ -1,0 +1,36 @@
+(** Reference interpreter.
+
+    The interpreter defines the semantics every code generator must preserve:
+    values are exact native integers while flowing through an expression and
+    are wrapped to the signed [width]-bit range when stored. This matches an
+    accumulator machine with a wide accumulator and word-sized memory, and it
+    is the oracle for differential testing of compiled code. *)
+
+type env
+(** Mutable store mapping each declared name to an array of words. *)
+
+val wrap : width:int -> int -> int
+(** Two's-complement wrap into [width] bits. *)
+
+val env_create : ?width:int -> Prog.t -> env
+(** Fresh environment with all cells zero. Default [width] is 16. *)
+
+val env_set : env -> string -> int array -> unit
+(** Initializes a declared variable; the array length must match the
+    declaration. Values are wrapped. @raise Invalid_argument otherwise. *)
+
+val env_get : env -> string -> int array
+(** Current contents (a copy). @raise Not_found for undeclared names. *)
+
+val width : env -> int
+
+val run : env -> Prog.t -> unit
+(** Executes the program body, mutating the environment. *)
+
+val outputs : env -> Prog.t -> (string * int array) list
+(** The program's output declarations and their final contents. *)
+
+val run_with_inputs : ?width:int -> Prog.t -> (string * int array) list
+  -> (string * int array) list
+(** Convenience: create an environment, set the given inputs, run, and return
+    the outputs. *)

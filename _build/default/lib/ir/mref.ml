@@ -1,0 +1,39 @@
+type index =
+  | Direct
+  | Elem of int
+  | Induct of { ivar : string; offset : int; step : int }
+
+type t = { base : string; index : index }
+
+let scalar base = { base; index = Direct }
+
+let elem base k =
+  assert (k >= 0);
+  { base; index = Elem k }
+
+let induct ?(offset = 0) ?(step = 1) base ~ivar =
+  if step <> 1 && step <> -1 then invalid_arg "Mref.induct: step must be ±1";
+  { base; index = Induct { ivar; offset; step } }
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let ivars r =
+  match r.index with
+  | Direct | Elem _ -> []
+  | Induct { ivar; _ } -> [ ivar ]
+
+let to_string r =
+  match r.index with
+  | Direct -> r.base
+  | Elem k -> Printf.sprintf "%s[%d]" r.base k
+  | Induct { ivar; offset = 0; step = 1 } ->
+    Printf.sprintf "%s[%s]" r.base ivar
+  | Induct { ivar; offset; step = 1 } when offset > 0 ->
+    Printf.sprintf "%s[%s+%d]" r.base ivar offset
+  | Induct { ivar; offset; step = 1 } ->
+    Printf.sprintf "%s[%s%d]" r.base ivar offset
+  | Induct { ivar; offset; step = _ } ->
+    Printf.sprintf "%s[%d-%s]" r.base offset ivar
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

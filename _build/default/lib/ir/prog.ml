@@ -1,0 +1,136 @@
+type storage = Input | Output | Temp
+
+type decl = { name : string; size : int; storage : storage }
+
+type stmt = { dst : Mref.t; src : Tree.t }
+
+type item =
+  | Stmt of stmt
+  | Loop of loop
+
+and loop = { ivar : string; count : int; body : item list }
+
+type t = { name : string; decls : decl list; body : item list }
+
+let scalar_decl ?(storage = Temp) name = { name; size = 1; storage }
+
+let array_decl ?(storage = Temp) name size =
+  if size < 1 then invalid_arg "Prog.array_decl: size < 1";
+  { name; size; storage }
+
+let assign dst src = Stmt { dst; src }
+let loop ivar count body = Loop { ivar; count; body }
+
+let find_decl_in decls name =
+  List.find_opt (fun (d : decl) -> d.name = name) decls
+
+(* Well-formedness: every reference resolves, indices stay in bounds for the
+   whole induction range, loop variables are distinct from declarations and
+   from enclosing loop variables. *)
+let validate prog =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_ref loops (r : Mref.t) =
+    match find_decl_in prog.decls r.base with
+    | None -> err "undeclared variable %s" r.base
+    | Some d -> (
+      match r.index with
+      | Mref.Direct ->
+        if d.size = 1 then Ok ()
+        else err "array %s used as a scalar" r.base
+      | Mref.Elem k ->
+        if k >= 0 && k < d.size then Ok ()
+        else err "%s[%d] out of bounds (size %d)" r.base k d.size
+      | Mref.Induct { ivar; offset; step } -> (
+        match List.assoc_opt ivar loops with
+        | None -> err "induction variable %s not in scope in %s" ivar
+                    (Mref.to_string r)
+        | Some count ->
+          let first = offset in
+          let last = offset + (step * (count - 1)) in
+          let lo = min first last and hi = max first last in
+          if lo >= 0 && hi < d.size then Ok ()
+          else
+            err "%s out of bounds for size %d (trip count %d)"
+              (Mref.to_string r) d.size count))
+  in
+  let rec check_item loops = function
+    | Stmt { dst; src } ->
+      let* () = check_ref loops dst in
+      List.fold_left
+        (fun acc r ->
+          let* () = acc in
+          check_ref loops r)
+        (Ok ()) (Tree.refs src)
+    | Loop { ivar; count; body } ->
+      if count < 1 then err "loop over %s has trip count %d" ivar count
+      else if List.mem_assoc ivar loops then
+        err "loop variable %s shadows an enclosing loop" ivar
+      else if find_decl_in prog.decls ivar <> None then
+        err "loop variable %s shadows a declaration" ivar
+      else check_items ((ivar, count) :: loops) body
+  and check_items loops items =
+    List.fold_left
+      (fun acc item ->
+        let* () = acc in
+        check_item loops item)
+      (Ok ()) items
+  in
+  let* () =
+    let dup =
+      let seen = Hashtbl.create 16 in
+      List.find_opt
+        (fun (d : decl) ->
+          if Hashtbl.mem seen d.name then true
+          else (
+            Hashtbl.add seen d.name ();
+            false))
+        prog.decls
+    in
+    match dup with
+    | Some d -> err "duplicate declaration of %s" d.name
+    | None -> Ok ()
+  in
+  check_items [] prog.body
+
+let make ~name ~decls body =
+  let prog = { name; decls; body } in
+  match validate prog with
+  | Ok () -> prog
+  | Error msg -> invalid_arg (Printf.sprintf "Prog.make (%s): %s" name msg)
+
+let stmts prog =
+  let rec go acc = function
+    | Stmt s -> s :: acc
+    | Loop { body; _ } -> List.fold_left go acc body
+  in
+  List.rev (List.fold_left go [] prog.body)
+
+let find_decl prog name = find_decl_in prog.decls name
+
+let pp ppf prog =
+  let open Format in
+  fprintf ppf "@[<v>program %s@," prog.name;
+  List.iter
+    (fun d ->
+      let kind =
+        match d.storage with
+        | Input -> "input"
+        | Output -> "output"
+        | Temp -> "var"
+      in
+      if d.size = 1 then fprintf ppf "  %s %s@," kind d.name
+      else fprintf ppf "  %s %s[%d]@," kind d.name d.size)
+    prog.decls;
+  let rec pp_item indent item =
+    match item with
+    | Stmt { dst; src } ->
+      fprintf ppf "%s%s = %s@," indent (Mref.to_string dst)
+        (Tree.to_string src)
+    | Loop { ivar; count; body } ->
+      fprintf ppf "%sfor %s = 0 to %d do@," indent ivar (count - 1);
+      List.iter (pp_item (indent ^ "  ")) body;
+      fprintf ppf "%send@," indent
+  in
+  List.iter (pp_item "  ") prog.body;
+  fprintf ppf "@]"

@@ -1,0 +1,55 @@
+type t =
+  | Const of int
+  | Ref of Mref.t
+  | Unop of Op.unop * t
+  | Binop of Op.binop * t * t
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let rec size = function
+  | Const _ | Ref _ -> 1
+  | Unop (_, a) -> 1 + size a
+  | Binop (_, a, b) -> 1 + size a + size b
+
+let rec depth = function
+  | Const _ | Ref _ -> 1
+  | Unop (_, a) -> 1 + depth a
+  | Binop (_, a, b) -> 1 + max (depth a) (depth b)
+
+let refs t =
+  let rec go acc = function
+    | Const _ -> acc
+    | Ref r -> r :: acc
+    | Unop (_, a) -> go acc a
+    | Binop (_, a, b) -> go (go acc a) b
+  in
+  List.rev (go [] t)
+
+let ivars t =
+  let vs = List.concat_map Mref.ivars (refs t) in
+  List.sort_uniq String.compare vs
+
+let rec map_refs f = function
+  | Const k -> Const k
+  | Ref r -> Ref (f r)
+  | Unop (op, a) -> Unop (op, map_refs f a)
+  | Binop (op, a, b) -> Binop (op, map_refs f a, map_refs f b)
+
+let rec to_string = function
+  | Const k -> string_of_int k
+  | Ref r -> Mref.to_string r
+  | Unop (op, a) -> Printf.sprintf "%s(%s)" (Op.unop_name op) (to_string a)
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (to_string a) (Op.binop_name op) (to_string b)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let const k = Const k
+let ref_ r = Ref r
+let var name = Ref (Mref.scalar name)
+let ( + ) a b = Binop (Op.Add, a, b)
+let ( - ) a b = Binop (Op.Sub, a, b)
+let ( * ) a b = Binop (Op.Mul, a, b)
+let neg a = Unop (Op.Neg, a)
+let sat a = Unop (Op.Sat, a)

@@ -1,0 +1,38 @@
+(** Expression trees: the data-flow trees that instruction patterns cover
+    (paper Fig. 4 / Fig. 5). *)
+
+type t =
+  | Const of int
+  | Ref of Mref.t
+  | Unop of Op.unop * t
+  | Binop of Op.binop * t * t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val size : t -> int
+(** Number of nodes. *)
+
+val depth : t -> int
+
+val refs : t -> Mref.t list
+(** All memory references, left-to-right, with duplicates. *)
+
+val ivars : t -> string list
+(** Induction variables referenced anywhere in the tree, deduplicated. *)
+
+val map_refs : (Mref.t -> Mref.t) -> t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Convenience constructors. *)
+
+val const : int -> t
+val ref_ : Mref.t -> t
+val var : string -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val neg : t -> t
+val sat : t -> t

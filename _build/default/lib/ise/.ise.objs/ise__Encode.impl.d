@@ -1,0 +1,1 @@
+lib/ise/encode.ml: Array Extract List Printf Rtl Target Transfer

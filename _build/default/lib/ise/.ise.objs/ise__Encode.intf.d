@@ -1,0 +1,1 @@
+lib/ise/encode.mli: Rtl Target Transfer

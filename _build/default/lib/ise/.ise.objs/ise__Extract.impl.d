@@ -1,0 +1,1 @@
+lib/ise/extract.ml: Hashtbl Ir Lazy List Option Printf Rtl String Transfer

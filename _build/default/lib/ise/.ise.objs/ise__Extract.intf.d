@@ -1,0 +1,1 @@
+lib/ise/extract.mli: Rtl Transfer

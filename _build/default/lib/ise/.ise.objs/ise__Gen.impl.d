@@ -1,0 +1,1 @@
+lib/ise/gen.ml: Burg Extract Ir List Option Printf Rtl Target Transfer

@@ -1,0 +1,1 @@
+lib/ise/gen.mli: Burg Rtl Target Transfer

@@ -1,0 +1,1 @@
+lib/ise/transfer.ml: Array Format Ir List Printf Rtl String

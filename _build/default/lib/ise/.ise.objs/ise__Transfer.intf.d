@@ -1,0 +1,1 @@
+lib/ise/transfer.mli: Format Ir Rtl

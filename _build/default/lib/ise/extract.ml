@@ -1,0 +1,236 @@
+type settings = (string * int) list
+
+(* Merge two requirement sets; None on conflicting values for a field. *)
+let merge (a : settings) (b : settings) : settings option =
+  let rec go acc = function
+    | [] -> Some acc
+    | (f, v) :: rest -> (
+      match List.assoc_opt f acc with
+      | Some v' when v' <> v -> None
+      | Some _ -> go acc rest
+      | None -> go ((f, v) :: acc) rest)
+  in
+  go a b
+
+let alu_to_ir = function
+  | Rtl.Comp.Fadd -> Some Ir.Op.Add
+  | Rtl.Comp.Fsub -> Some Ir.Op.Sub
+  | Rtl.Comp.Fmul -> Some Ir.Op.Mul
+  | Rtl.Comp.Fand -> Some Ir.Op.And
+  | Rtl.Comp.For_ -> Some Ir.Op.Or
+  | Rtl.Comp.Fxor -> Some Ir.Op.Xor
+  | Rtl.Comp.Fpass_a | Rtl.Comp.Fpass_b -> None
+
+(* Requirement for a control input to carry the given value. *)
+let control_requirement net pruned (sink : Rtl.Netlist.port) value :
+    settings option =
+  match Rtl.Netlist.driver net sink with
+  | exception Not_found ->
+    incr pruned;
+    None
+  | src -> (
+    let c = Rtl.Netlist.find net src.comp in
+    match c.kind with
+    | Rtl.Comp.Field (lo, hi) ->
+      if value >= 0 && value < 1 lsl (hi - lo + 1) then Some [ (c.name, value) ]
+      else begin
+        incr pruned;
+        None
+      end
+    | Rtl.Comp.Constant k ->
+      if k = value then Some []
+      else begin
+        incr pruned;
+        None
+      end
+    | Rtl.Comp.Register | Rtl.Comp.Memory _ | Rtl.Comp.Alu _ | Rtl.Comp.Mux _
+      ->
+      (* Control computed by the data path: outside this extractor's model
+         (residual control would live in the mode machinery instead). *)
+      incr pruned;
+      None)
+
+(* Backward traversal from a data output: all (expression, settings)
+   alternatives producible on that net. *)
+let rec trace net pruned (src : Rtl.Netlist.port) :
+    (Transfer.expr * settings) list =
+  let c = Rtl.Netlist.find net src.comp in
+  match c.kind with
+  | Rtl.Comp.Register -> [ (Transfer.Leaf (Transfer.Reg c.name), []) ]
+  | Rtl.Comp.Constant k -> [ (Transfer.Leaf (Transfer.Const k), []) ]
+  | Rtl.Comp.Field (lo, hi) ->
+    [ (Transfer.Leaf (Transfer.Imm (c.name, hi - lo + 1)), []) ]
+  | Rtl.Comp.Memory _ -> (
+    match Rtl.Netlist.driver net { comp = c.name; port = "addr" } with
+    | exception Not_found ->
+      incr pruned;
+      []
+    | addr_src -> (
+      match (Rtl.Netlist.find net addr_src.comp).kind with
+      | Rtl.Comp.Field _ ->
+        [ (Transfer.Leaf (Transfer.Mem_direct (c.name, addr_src.comp)), []) ]
+      | _ ->
+        (* Register-indexed memory: not modeled by this extractor. *)
+        incr pruned;
+        []))
+  | Rtl.Comp.Mux n ->
+    List.concat_map
+      (fun i ->
+        match control_requirement net pruned { comp = c.name; port = "sel" } i with
+        | None -> []
+        | Some sel_set ->
+          List.filter_map
+            (fun (e, s) ->
+              Option.map (fun s' -> (e, s')) (merge sel_set s))
+            (trace net pruned
+               (Rtl.Netlist.driver net
+                  { comp = c.name; port = Printf.sprintf "in%d" i })))
+      (List.init n (fun i -> i))
+  | Rtl.Comp.Alu table ->
+    let a_alts =
+      lazy (trace net pruned (Rtl.Netlist.driver net { comp = c.name; port = "a" }))
+    in
+    let b_alts =
+      lazy (trace net pruned (Rtl.Netlist.driver net { comp = c.name; port = "b" }))
+    in
+    List.concat_map
+      (fun (code, op) ->
+        match control_requirement net pruned { comp = c.name; port = "sel" } code with
+        | None -> []
+        | Some sel_set -> (
+          let with_sel alts =
+            List.filter_map
+              (fun (e, s) -> Option.map (fun s' -> (e, s')) (merge sel_set s))
+              alts
+          in
+          match op with
+          | Rtl.Comp.Fpass_a -> with_sel (Lazy.force a_alts)
+          | Rtl.Comp.Fpass_b -> with_sel (Lazy.force b_alts)
+          | _ -> (
+            match alu_to_ir op with
+            | None -> []
+            | Some ir_op ->
+              List.concat_map
+                (fun (ea, sa) ->
+                  List.filter_map
+                    (fun (eb, sb) ->
+                      match merge sa sb with
+                      | None ->
+                        incr pruned;
+                        None
+                      | Some s -> (
+                        match merge sel_set s with
+                        | None ->
+                          incr pruned;
+                          None
+                        | Some s' ->
+                          Some (Transfer.Binop (ir_op, ea, eb), s')))
+                    (Lazy.force b_alts))
+                (Lazy.force a_alts))))
+      table
+
+(* Settings that keep every storage other than [active] inert. *)
+let quiescence net pruned active : settings option =
+  List.fold_left
+    (fun acc (s : Rtl.Comp.t) ->
+      match acc with
+      | None -> None
+      | Some settings ->
+        if s.name = active then acc
+        else (
+          match control_requirement net pruned { comp = s.name; port = "we" } 0 with
+          | None -> None
+          | Some s0 -> merge settings s0))
+    (Some [])
+    (Rtl.Netlist.storages net)
+
+let describe_operand = function
+  | Transfer.Reg r -> r
+  | Transfer.Mem_direct _ -> "mem"
+  | Transfer.Imm _ -> "imm"
+  | Transfer.Const k -> "c" ^ string_of_int k
+
+let rec describe = function
+  | Transfer.Leaf op -> describe_operand op
+  | Transfer.Unop (op, a) ->
+    Printf.sprintf "%s_%s" (Ir.Op.unop_name op) (describe a)
+  | Transfer.Binop (op, a, b) ->
+    Printf.sprintf "%s_%s_%s" (describe a) (Ir.Op.binop_name op) (describe b)
+
+let run_counted net =
+  let pruned = ref 0 in
+  let out = ref [] in
+  let names = Hashtbl.create 32 in
+  let unique base =
+    let rec go i =
+      let candidate = if i = 0 then base else Printf.sprintf "%s_%d" base i in
+      if Hashtbl.mem names candidate then go (i + 1)
+      else (
+        Hashtbl.add names candidate ();
+        candidate)
+    in
+    go 0
+  in
+  List.iter
+    (fun (s : Rtl.Comp.t) ->
+      let data_port, dest =
+        match s.kind with
+        | Rtl.Comp.Register -> ("d", Some (Transfer.Dreg s.name))
+        | Rtl.Comp.Memory _ -> (
+          ( "din",
+            match Rtl.Netlist.driver net { comp = s.name; port = "addr" } with
+            | addr_src -> (
+              match (Rtl.Netlist.find net addr_src.comp).kind with
+              | Rtl.Comp.Field _ -> Some (Transfer.Dmem (s.name, addr_src.comp))
+              | _ ->
+                incr pruned;
+                None)
+            | exception Not_found ->
+              incr pruned;
+              None ))
+        | _ -> ("", None)
+      in
+      match dest with
+      | None -> ()
+      | Some dest -> (
+        match
+          control_requirement net pruned { comp = s.name; port = "we" } 1
+        with
+        | None -> ()
+        | Some we_set -> (
+          match quiescence net pruned s.name with
+          | None -> ()
+          | Some quiet ->
+            let alts =
+              trace net pruned
+                (Rtl.Netlist.driver net { comp = s.name; port = data_port })
+            in
+            List.iter
+              (fun (expr, settings) ->
+                match merge settings we_set with
+                | None -> incr pruned
+                | Some s1 -> (
+                  match merge s1 quiet with
+                  | None -> incr pruned
+                  | Some all ->
+                    let name =
+                      unique
+                        (Printf.sprintf "%s_%s"
+                           (Transfer.dest_name dest)
+                           (describe expr))
+                    in
+                    let settings =
+                      List.sort
+                        (fun (a, _) (b, _) -> String.compare a b)
+                        all
+                    in
+                    out :=
+                      { Transfer.name; dest; expr; settings; words = 1; cycles = 1 }
+                      :: !out))
+              alts)))
+    (Rtl.Netlist.storages net);
+  (List.rev !out, !pruned)
+
+let run net = fst (run_counted net)
+
+let alternatives_pruned net = snd (run_counted net)

@@ -1,0 +1,18 @@
+(** Instruction-set extraction (paper §4.3.2, Leupers/Marwedel Euro-DAC'94).
+
+    For each register or memory input, the netlist is traversed against the
+    data-flow direction, collecting the transformations applied to the data
+    and the control requirements along the way; requirements are met by
+    justifying instruction-register bits. The result is, for each storage,
+    the list of assignable expressions with their instruction-bit
+    settings. *)
+
+val run : Rtl.Netlist.t -> Transfer.t list
+(** All extractable single-cycle transfers. Alternatives that need
+    conflicting settings of the same field, that route through unsupported
+    addressing (a memory whose address is not an instruction field), or
+    that cannot quiesce the other storages are pruned. Transfer names are
+    synthesized from destination and operation and are unique. *)
+
+val alternatives_pruned : Rtl.Netlist.t -> int
+(** How many traversal alternatives justification rejected (reporting). *)

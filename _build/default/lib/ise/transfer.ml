@@ -1,0 +1,73 @@
+type operand =
+  | Reg of string
+  | Mem_direct of string * string
+  | Imm of string * int
+  | Const of int
+
+type expr =
+  | Leaf of operand
+  | Unop of Ir.Op.unop * expr
+  | Binop of Ir.Op.binop * expr * expr
+
+type dest =
+  | Dreg of string
+  | Dmem of string * string
+
+type t = {
+  name : string;
+  dest : dest;
+  expr : expr;
+  settings : (string * int) list;
+  words : int;
+  cycles : int;
+}
+
+let leaves expr =
+  let rec go acc = function
+    | Leaf op -> op :: acc
+    | Unop (_, a) -> go acc a
+    | Binop (_, a, b) -> go (go acc a) b
+  in
+  List.rev (go [] expr)
+
+let dest_name = function Dreg r -> r | Dmem (m, _) -> m
+
+let operand_to_string = function
+  | Reg r -> r
+  | Mem_direct (m, f) -> Printf.sprintf "%s[%s]" m f
+  | Imm (f, _) -> Printf.sprintf "#%s" f
+  | Const k -> string_of_int k
+
+let rec expr_to_string = function
+  | Leaf op -> operand_to_string op
+  | Unop (op, a) ->
+    Printf.sprintf "%s(%s)" (Ir.Op.unop_name op) (expr_to_string a)
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (Ir.Op.binop_name op)
+      (expr_to_string b)
+
+let pp ppf t =
+  let dest =
+    match t.dest with
+    | Dreg r -> r
+    | Dmem (m, f) -> Printf.sprintf "%s[%s]" m f
+  in
+  Format.fprintf ppf "%-22s %s := %s   {%s}" t.name dest
+    (expr_to_string t.expr)
+    (String.concat " "
+       (List.map (fun (f, v) -> Printf.sprintf " %s=%d" f v) t.settings))
+
+let encoding net t =
+  let width = Rtl.Netlist.word_width net in
+  let bits = Array.make width '-' in
+  List.iter
+    (fun (fname, v) ->
+      match (Rtl.Netlist.find net fname).Rtl.Comp.kind with
+      | Rtl.Comp.Field (lo, hi) ->
+        for bit = lo to hi do
+          bits.(bit) <- (if (v lsr (bit - lo)) land 1 = 1 then '1' else '0')
+        done
+      | _ -> ())
+    t.settings;
+  (* LSB rightmost. *)
+  String.init width (fun i -> bits.(width - 1 - i))

@@ -1,0 +1,44 @@
+(** Register transfers extracted from a netlist (paper Fig. 3): for each
+    storage unit, the assignable expressions and the instruction-bit
+    settings that realize them. *)
+
+type operand =
+  | Reg of string  (** a register's current value *)
+  | Mem_direct of string * string
+      (** memory, addressed by the given instruction field (direct
+          addressing: the address is part of the encoding) *)
+  | Imm of string * int  (** immediate instruction field (name, bit width) *)
+  | Const of int  (** hard-wired constant *)
+
+type expr =
+  | Leaf of operand
+  | Unop of Ir.Op.unop * expr
+      (** not produced by netlist extraction (ALU tables are binary), but
+          expressible in textual machine descriptions *)
+  | Binop of Ir.Op.binop * expr * expr
+
+type dest =
+  | Dreg of string
+  | Dmem of string * string  (** memory, addressing field *)
+
+type t = {
+  name : string;  (** synthesized mnemonic, unique in the extracted set *)
+  dest : dest;
+  expr : expr;
+  settings : (string * int) list;
+      (** control-field justification: field -> value (sorted by field) *)
+  words : int;  (** instruction size; 1 for extracted single-word sets *)
+  cycles : int;  (** execution time; 1 unless a description says otherwise *)
+}
+
+val leaves : expr -> operand list
+(** Left-to-right. *)
+
+val dest_name : dest -> string
+
+val pp : Format.formatter -> t -> unit
+(** Renders like Fig. 3: [acc := acc + ram[addr]   { opc=0 wacc=1 wmem=0 }]. *)
+
+val encoding : Rtl.Netlist.t -> t -> string
+(** The instruction word as a bit string, LSB rightmost: justified control
+    bits are 0/1, free bits (addresses, immediates) are ['-']. *)

@@ -1,0 +1,242 @@
+exception Error of string
+
+let fail line fmt =
+  Format.kasprintf
+    (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s)))
+    fmt
+
+type description = {
+  name : string;
+  text : string;  (* the description string *)
+  registers : string list;  (* declaration order *)
+  counter : (string * int) option;
+  agu_limit : int option;
+  rules : Ise.Transfer.t list;
+}
+
+(* ---- expression parsing --------------------------------------------------- *)
+
+(* Tokens: names, integers, ( ) , *)
+let tokenize_expr line text =
+  let out = ref [] in
+  let n = String.length text in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-'
+  in
+  let rec go i =
+    if i >= n then ()
+    else if text.[i] = ' ' || text.[i] = '\t' then go (i + 1)
+    else if text.[i] = '(' || text.[i] = ')' || text.[i] = ',' then begin
+      out := String.make 1 text.[i] :: !out;
+      go (i + 1)
+    end
+    else if is_word text.[i] then begin
+      let j = ref i in
+      while !j < n && is_word text.[!j] do
+        incr j
+      done;
+      out := String.sub text i (!j - i) :: !out;
+      go !j
+    end
+    else fail line "illegal character %C in expression" text.[i]
+  in
+  go 0;
+  List.rev !out
+
+let binops =
+  [
+    ("add", Ir.Op.Add); ("sub", Ir.Op.Sub); ("mul", Ir.Op.Mul);
+    ("and", Ir.Op.And); ("or", Ir.Op.Or); ("xor", Ir.Op.Xor);
+    ("shl", Ir.Op.Shl); ("shr", Ir.Op.Shr);
+  ]
+
+let unops = [ ("neg", Ir.Op.Neg); ("not", Ir.Op.Not); ("sat", Ir.Op.Sat) ]
+
+let imm_width word =
+  let n = String.length word in
+  if n > 3 && String.sub word 0 3 = "imm" then
+    match int_of_string_opt (String.sub word 3 (n - 3)) with
+    | Some w when w >= 1 && w <= 16 -> Some w
+    | Some _ | None -> None
+  else None
+
+(* expr := binop '(' expr ',' expr ')' | 'mem' | 'immN' | register | int *)
+let parse_expr line registers tokens =
+  let toks = ref tokens in
+  let peek () = match !toks with t :: _ -> Some t | [] -> None in
+  let advance () = match !toks with _ :: rest -> toks := rest | [] -> () in
+  let expect t =
+    if peek () = Some t then advance ()
+    else fail line "expected %s in expression" t
+  in
+  let rec expr () =
+    match peek () with
+    | None -> fail line "unexpected end of expression"
+    | Some word -> (
+      advance ();
+      match List.assoc_opt word binops with
+      | Some op ->
+        expect "(";
+        let a = expr () in
+        expect ",";
+        let b = expr () in
+        expect ")";
+        Ise.Transfer.Binop (op, a, b)
+      | None when List.mem_assoc word unops ->
+        let op = List.assoc word unops in
+        expect "(";
+        let a = expr () in
+        expect ")";
+        Ise.Transfer.Unop (op, a)
+      | None -> (
+        if word = "mem" then
+          Ise.Transfer.Leaf (Ise.Transfer.Mem_direct ("mem", "addr"))
+        else
+          match imm_width word with
+          | Some w -> Ise.Transfer.Leaf (Ise.Transfer.Imm (word, w))
+          | None -> (
+            if List.mem word registers then
+              Ise.Transfer.Leaf (Ise.Transfer.Reg word)
+            else
+              match int_of_string_opt word with
+              | Some k -> Ise.Transfer.Leaf (Ise.Transfer.Const k)
+              | None -> fail line "unknown name %s in expression" word)))
+  in
+  let e = expr () in
+  if !toks <> [] then fail line "trailing tokens in expression";
+  e
+
+(* ---- line parsing ---------------------------------------------------------- *)
+
+let strip_comment text =
+  match String.index_opt text '#' with
+  | None -> text
+  | Some i -> String.sub text 0 i
+
+let words text =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) text)
+  |> List.filter (fun s -> s <> "")
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let name = ref None in
+  let text = ref "" in
+  let registers = ref [] in
+  let counter = ref None in
+  let agu_limit = ref None in
+  let rules = ref [] in
+  let rule_names = Hashtbl.create 16 in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let body = String.trim (strip_comment raw) in
+      if body <> "" then
+        match words body with
+        | [ "machine"; n ] ->
+          if !name <> None then fail line "duplicate machine line";
+          name := Some n
+        | "description" :: _ ->
+          (* everything after the keyword, unquoted *)
+          let k = String.index body ' ' in
+          let d =
+            String.trim (String.sub body k (String.length body - k))
+          in
+          let d =
+            if String.length d >= 2 && d.[0] = '"' && d.[String.length d - 1] = '"'
+            then String.sub d 1 (String.length d - 2)
+            else d
+          in
+          text := d
+        | [ "register"; r ] ->
+          if List.mem r !registers then fail line "duplicate register %s" r;
+          if r = "mem" || imm_width r <> None then
+            fail line "reserved register name %s" r;
+          registers := !registers @ [ r ]
+        | [ "counter"; c; n ] -> (
+          match int_of_string_opt n with
+          | Some k when k >= 1 && k <= 16 -> counter := Some (c, k)
+          | Some _ | None -> fail line "counter size must be in 1..16")
+        | [ "agu"; n ] -> (
+          match int_of_string_opt n with
+          | Some k when k >= 1 -> agu_limit := Some k
+          | Some _ | None -> fail line "agu limit must be positive")
+        | "rule" :: rname :: rest -> (
+          if Hashtbl.mem rule_names rname then
+            fail line "duplicate rule %s" rname;
+          Hashtbl.add rule_names rname ();
+          let rest = String.concat " " rest in
+          match String.index_opt rest '<' with
+          | Some i
+            when i + 1 < String.length rest && rest.[i + 1] = '-' ->
+            let dest = String.trim (String.sub rest 0 i) in
+            let body =
+              String.sub rest (i + 2) (String.length rest - i - 2)
+            in
+            (* Optional trailing attributes: "cost W" (words), "cycles C". *)
+            let attr_value words key default =
+              let rec scan = function
+                | k :: v :: rest when k = key -> (
+                  match int_of_string_opt v with
+                  | Some n when n >= 1 -> (n, rest)
+                  | Some _ | None -> fail line "%s must be positive" key)
+                | other :: rest ->
+                  let n, remaining = scan rest in
+                  (n, other :: remaining)
+                | [] -> (default, [])
+              in
+              scan words
+            in
+            let body_words = words body in
+            (* Attributes sit after the expression; split them off by
+               scanning for the keywords. *)
+            let rec split expr_part = function
+              | ("cost" | "cycles") :: _ as attrs -> (List.rev expr_part, attrs)
+              | w :: rest -> split (w :: expr_part) rest
+              | [] -> (List.rev expr_part, [])
+            in
+            let expr_words, attrs = split [] body_words in
+            let w, attrs = attr_value attrs "cost" 1 in
+            let c, attrs = attr_value attrs "cycles" w in
+            if attrs <> [] then fail line "trailing tokens after attributes";
+            let expr =
+              parse_expr line !registers
+                (tokenize_expr line (String.concat " " expr_words))
+            in
+            let dest =
+              if dest = "mem" then Ise.Transfer.Dmem ("mem", "addr")
+              else if List.mem dest !registers then Ise.Transfer.Dreg dest
+              else fail line "unknown destination %s" dest
+            in
+            rules :=
+              { Ise.Transfer.name = rname; dest; expr; settings = [];
+                words = w; cycles = c }
+              :: !rules
+          | _ -> fail line "expected 'rule NAME dest <- expr'")
+        | kw :: _ -> fail line "unknown directive %s" kw
+        | [] -> ())
+    lines;
+  (match !agu_limit with
+  | Some _ when !counter = None ->
+    raise (Error "agu declared without a counter class")
+  | _ -> ());
+  match !name with
+  | None -> raise (Error "missing 'machine NAME' line")
+  | Some n ->
+    if !registers = [] then raise (Error "no registers declared");
+    {
+      name = n;
+      text = (if !text = "" then "textual machine description" else !text);
+      registers = !registers;
+      counter = !counter;
+      agu_limit = !agu_limit;
+      rules = List.rev !rules;
+    }
+
+let transfers source = (parse source).rules
+
+let load source =
+  let d = parse source in
+  Ise.Gen.of_transfers ~name:d.name ~description:d.text
+    ~registers:d.registers ?counter:d.counter ?agu_limit:d.agu_limit d.rules

@@ -1,0 +1,51 @@
+(** A textual machine-description language, in the spirit of nML (§4.4:
+    "the CHESS compiler … uses the special language nML for instruction set
+    description"). A description declares registers and lists the machine's
+    register transfers; the compiler is generated from it exactly like from
+    an extracted netlist instruction set.
+
+    Syntax (line-oriented, [#] comments):
+
+    {v
+    machine     simple16
+    description "an accumulator toy written as text"
+
+    register    acc            # singleton data registers
+    register    t
+    counter     idx 4          # loop/address register class and its size
+    agu         4              # max address streams (needs counter)
+
+    rule ld    acc <- mem
+    rule st    mem <- acc
+    rule ldi   acc <- imm8
+    rule add   acc <- add(acc, mem)
+    rule lt    t   <- mem
+    rule mac   acc <- add(acc, mul(t, mem))
+    v}
+
+    Expressions use [add sub mul and or xor shl shr] and the unary
+    [neg not sat] over register names, [mem] (a direct memory operand),
+    [immN] (an N-bit unsigned immediate), and integer literals (hard-wired
+    constants). A rule is one instruction of one word and one cycle unless
+    trailing attributes say otherwise:
+
+    {v rule mulsoft acc <- mul(t, mem) cost 2 cycles 20 v}
+
+    ([cost] is the instruction's size in words and the selection cost;
+    [cycles] defaults to [cost].) The usual completeness requirements apply
+    (a load and a store at minimum); constants beyond the immediate forms
+    come from the generated constant pool.
+
+    Loops and address streams, when declared, use the synthesized
+    [LDC]/[DJNZ]/[LDAR] control instructions of {!Ise.Gen.of_transfers}. *)
+
+exception Error of string
+(** Message includes the line number. *)
+
+val transfers : string -> Ise.Transfer.t list
+(** The parsed rule set alone (for inspection). *)
+
+val load : string -> Target.Machine.t
+(** Parses a description and generates its compiler.
+    @raise Error on syntax or declaration problems.
+    @raise Ise.Gen.Unsupported when the rule set is not compilable. *)

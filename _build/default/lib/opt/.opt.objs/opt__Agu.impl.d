@@ -1,0 +1,1 @@
+lib/opt/agu.ml: Hashtbl Ir List Map Option Printf Stdlib Target

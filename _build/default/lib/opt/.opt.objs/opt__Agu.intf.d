@@ -1,0 +1,1 @@
+lib/opt/agu.mli: Target

@@ -1,0 +1,1 @@
+lib/opt/compaction.ml: Array Hashtbl Ir List Option Target

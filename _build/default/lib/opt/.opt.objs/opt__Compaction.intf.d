@@ -1,0 +1,1 @@
+lib/opt/compaction.mli: Target

@@ -1,0 +1,1 @@
+lib/opt/membank.ml: Hashtbl Ir List Option

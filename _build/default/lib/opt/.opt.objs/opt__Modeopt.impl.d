@@ -1,0 +1,1 @@
+lib/opt/modeopt.ml: Int List Map Printf String Target

@@ -1,0 +1,1 @@
+lib/opt/modeopt.mli: Target

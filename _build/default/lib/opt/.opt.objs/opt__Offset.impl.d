@@ -1,0 +1,1 @@
+lib/opt/offset.ml: Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/opt/offset.mli: Ir

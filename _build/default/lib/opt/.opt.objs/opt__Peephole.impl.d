@@ -1,0 +1,1 @@
+lib/opt/peephole.ml: Hashtbl Ir List String Target

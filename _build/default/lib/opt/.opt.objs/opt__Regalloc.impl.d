@@ -1,0 +1,1 @@
+lib/opt/regalloc.ml: Hashtbl List Option Printf Target

@@ -1,0 +1,34 @@
+(** Address-generation-unit lowering (§3.3: "several DSPs include special
+    address generation units; with these, incrementing an address register
+    does not require an extra instruction or cycle").
+
+    Every loop-carried memory access [base\[i+offset\]] is an address
+    {e stream}. The pass assigns one address register per stream, loads it
+    before the loop, and turns every access into an indirect access; the last
+    access of a stream in the body carries the free post-increment, so the
+    induction variable never needs to exist at run time. *)
+
+exception Too_many_streams of string
+(** Raised when a loop needs more address streams than the machine has
+    address registers (one register is reserved for the loop counter). *)
+
+val lower_loop :
+  Target.Machine.agu_support -> Target.Machine.ctx -> string
+  -> Target.Asm.item list
+  -> Target.Instr.t list * Target.Asm.item list * int
+(** Rewrites the induction accesses of ONE loop body (for the given
+    induction variable): returns the address-register initializations to
+    place before the loop, the rewritten body, and the number of streams.
+    A reference whose induction variable belongs to an enclosing loop is
+    rejected with [Invalid_argument] (not needed by the DSPStone kernels).
+    @raise Too_many_streams when the AGU cannot cover the loop. *)
+
+val lower :
+  Target.Machine.t -> Target.Machine.ctx -> Target.Asm.item list
+  -> Target.Asm.item list
+(** Applies {!lower_loop} to every loop, innermost first (standalone pass
+    form, used by tests; the pipeline calls {!lower_loop} directly so that
+    loop-control instructions stay adjacent to the loop). *)
+
+val stream_count : Target.Asm.item list -> int
+(** Number of distinct address streams of the outermost loops (reporting). *)

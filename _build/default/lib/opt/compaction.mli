@@ -1,0 +1,23 @@
+(** Code compaction: packing instructions into parallel words (§3.3 —
+    "parallel instructions … not taking advantage of this parallelism means
+    loosing a factor of two in the performance").
+
+    A machine with [slots] (per-word capacities by functional unit, e.g. one
+    ALU operation plus two moves) gets its straight-line blocks packed by
+    greedy list compaction over the dependence DAG. Loop bodies are packed
+    per block; control instructions never pack. *)
+
+val run :
+  ?word_ok:(Target.Instr.t list -> bool) ->
+  Target.Machine.t ->
+  Target.Asm.t ->
+  Target.Asm.t
+(** Identity for machines without slots. [word_ok] adds a machine-specific
+    word legality check on top of slot capacities (e.g. the two parallel
+    moves of a 56000-style machine must address different memory banks). *)
+
+val depends : Target.Instr.t -> Target.Instr.t -> bool
+(** True when the second instruction must stay after the first: register or
+    memory read-after-write, write-after-read, write-after-write, or a mode
+    interaction. Memory disambiguation is by base symbol; indirect accesses
+    conflict with all memory. Exposed for tests. *)

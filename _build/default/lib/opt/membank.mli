@@ -1,0 +1,27 @@
+(** Memory-bank assignment (§3.3, Sudarsanam/Malik).
+
+    On machines with two data memories (e.g. X/Y banks), a binary operation
+    whose operands come from different banks can fetch both in one cycle.
+    Given pair weights — how often two variables are wanted simultaneously —
+    the pass partitions variables over two banks with a greedy max-cut so as
+    many hot pairs as possible are split. *)
+
+val pair_weights : Ir.Prog.t -> ((string * string) * int) list
+(** Co-operand pairs of the program: for every binary operation whose two
+    sides read different variables, the pair of the leftmost referenced
+    variable of each side, weighted by enclosing loop trip counts. *)
+
+val assign :
+  banks:string * string ->
+  weights:((string * string) * int) list ->
+  vars:string list ->
+  string ->
+  string
+(** [assign ~banks ~weights ~vars] returns a bank for each variable: greedy
+    max-cut — variables in descending total weight, each placed on the bank
+    minimizing same-bank weight with already-placed neighbours. Variables
+    not in [vars] get the first bank. *)
+
+val cut_value :
+  bank_of:(string -> string) -> ((string * string) * int) list -> int * int
+(** [(split, total)] — weight of pairs in different banks vs total weight. *)

@@ -1,0 +1,112 @@
+type strategy = Lazy | Naive
+
+module Smap = Map.Make (String)
+
+(* Statically known mode values; a variable absent from the map is unknown. *)
+type state = int Smap.t
+
+let apply_instr (st : state) (i : Target.Instr.t) =
+  match i.mode_set with Some (m, v) -> Smap.add m v st | None -> st
+
+let reset_state machine : state =
+  List.fold_left
+    (fun st (m, v) -> Smap.add m v st)
+    Smap.empty machine.Target.Machine.modes
+
+(* Lazy insertion over one instruction: change only when needed. *)
+let lazy_instr machine st (i : Target.Instr.t) =
+  match i.mode_req with
+  | None -> (apply_instr st i, [ Target.Asm.Op i ])
+  | Some (m, v) -> (
+    match Smap.find_opt m st with
+    | Some v' when v' = v -> (apply_instr st i, [ Target.Asm.Op i ])
+    | Some _ | None ->
+      let change = machine.Target.Machine.mode_change m v in
+      let st = apply_instr (apply_instr st change) i in
+      (st, [ Target.Asm.Op change; Target.Asm.Op i ]))
+
+let naive_instr machine st (i : Target.Instr.t) =
+  match i.mode_req with
+  | None -> (apply_instr st i, [ Target.Asm.Op i ])
+  | Some (m, v) ->
+    let change = machine.Target.Machine.mode_change m v in
+    (apply_instr (apply_instr st change) i, [ Target.Asm.Op change; Target.Asm.Op i ])
+
+let rec process machine strategy st items =
+  let step = match strategy with Lazy -> lazy_instr | Naive -> naive_instr in
+  List.fold_left
+    (fun (st, acc) item ->
+      match item with
+      | Target.Asm.Op i ->
+        let st, out = step machine st i in
+        (st, acc @ out)
+      | Target.Asm.Par is ->
+        (* Parallel words appear only after compaction, which runs later. *)
+        let st = List.fold_left apply_instr st is in
+        (st, acc @ [ Target.Asm.Par is ])
+      | Target.Asm.Loop { ivar; count; body } -> (
+        match strategy with
+        | Naive ->
+          let st, body' = process machine strategy st body in
+          (st, acc @ [ Target.Asm.Loop { ivar; count; body = body' } ])
+        | Lazy ->
+          (* Try the loop entry state; accept when it is a fixpoint of the
+             body, otherwise recompile the body against an unknown state. *)
+          let exit_st, body' = process machine strategy st body in
+          if Smap.equal Int.equal exit_st st then
+            (st, acc @ [ Target.Asm.Loop { ivar; count; body = body' } ])
+          else
+            let exit_st, body' = process machine strategy Smap.empty body in
+            (exit_st, acc @ [ Target.Asm.Loop { ivar; count; body = body' } ])))
+    (st, []) items
+
+let run ~strategy machine items =
+  let _, items' = process machine strategy (reset_state machine) items in
+  items'
+
+let changes_inserted items =
+  let n = ref 0 in
+  let rec go = function
+    | Target.Asm.Op i -> if i.Target.Instr.mode_set <> None then incr n
+    | Target.Asm.Par is ->
+      List.iter (fun i -> if i.Target.Instr.mode_set <> None then incr n) is
+    | Target.Asm.Loop { body; _ } -> List.iter go body
+  in
+  List.iter go items;
+  !n
+
+let verify machine items =
+  let exception Violation of string in
+  let check st (i : Target.Instr.t) =
+    (match i.mode_req with
+    | None -> ()
+    | Some (m, v) -> (
+      match Smap.find_opt m st with
+      | Some v' when v' = v -> ()
+      | Some v' ->
+        raise
+          (Violation
+             (Printf.sprintf "%s requires %s=%d but %s=%d holds"
+                i.opcode m v m v'))
+      | None ->
+        raise
+          (Violation
+             (Printf.sprintf "%s requires %s=%d but %s is unknown"
+                i.opcode m v m))));
+    apply_instr st i
+  in
+  let rec go st = function
+    | Target.Asm.Op i -> check st i
+    | Target.Asm.Par is -> List.fold_left check st is
+    | Target.Asm.Loop { body; _ } ->
+      (* Entry state must be a fixpoint of the body; otherwise verify the
+         body against the meet (unknown) state. *)
+      let exit_st = List.fold_left go st body in
+      if Smap.equal Int.equal exit_st st then st
+      else
+        let exit_st = List.fold_left go Smap.empty body in
+        exit_st
+  in
+  match List.fold_left go (reset_state machine) items with
+  | (_ : state) -> Ok ()
+  | exception Violation msg -> Error msg

@@ -1,0 +1,27 @@
+(** Mode-change minimization (§3.3, Liao: "residual control").
+
+    Instructions carry mode requirements (e.g. the C25's saturating
+    arithmetic needs [ovm]=1, plain arithmetic [ovm]=0). The pass inserts
+    mode-changing instructions so every requirement is met at run time.
+
+    Two strategies:
+    - [Lazy] (RECORD): track the statically known mode through the code and
+      change it only when a requirement differs; a loop body is compiled
+      against its entry state when that state is a fixpoint of the body,
+      otherwise against an unknown state.
+    - [Naive] (conventional compiler): set the mode before every requiring
+      instruction, unconditionally. *)
+
+type strategy = Lazy | Naive
+
+val run : strategy:strategy -> Target.Machine.t -> Target.Asm.item list
+  -> Target.Asm.item list
+(** Inserts mode changes. The input must not already satisfy requirements by
+    accident — the pass assumes nothing and proves every requirement. *)
+
+val changes_inserted : Target.Asm.item list -> int
+(** Number of mode-setting instructions in the code (reporting). *)
+
+val verify : Target.Machine.t -> Target.Asm.item list -> (unit, string) result
+(** Abstract interpretation check that every mode requirement is satisfied
+    on every path (loops entered with their fixpoint or unknown state). *)

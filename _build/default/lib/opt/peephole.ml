@@ -1,0 +1,196 @@
+(* Store/load forwarding note: forwarding keeps the (wide) register value
+   where the memory round-trip would have wrapped it to the word width. This
+   is exact under the fixed-point programming contract (intermediate values
+   fit the word range or are explicitly saturated), which the rest of the
+   system assumes as well. *)
+
+let starts_with_dollar s = String.length s > 0 && s.[0] = '$'
+
+let rec operand_dirs op =
+  match op with
+  | Target.Instr.Dir r -> [ r ]
+  | Target.Instr.Ind (ar, _, _) -> operand_dirs ar
+  | Target.Instr.Reg _ | Target.Instr.Vreg _ | Target.Instr.Imm _
+  | Target.Instr.Adr _ ->
+    []
+
+let has_ind ops =
+  List.exists
+    (fun op -> match op with Target.Instr.Ind _ -> true | _ -> false)
+    ops
+
+(* All memory locations read anywhere in the program. *)
+let global_reads items =
+  let reads = Hashtbl.create 64 in
+  let note (i : Target.Instr.t) =
+    List.iter
+      (fun op ->
+        List.iter (fun r -> Hashtbl.replace reads r ()) (operand_dirs op))
+      i.uses
+  in
+  let rec go = function
+    | Target.Asm.Op i -> note i
+    | Target.Asm.Par is -> List.iter note is
+    | Target.Asm.Loop { body; _ } -> List.iter go body
+  in
+  List.iter go items;
+  reads
+
+let writes_base (i : Target.Instr.t) base =
+  List.exists
+    (fun op ->
+      List.exists (fun (r : Ir.Mref.t) -> r.base = base) (operand_dirs op)
+      || match op with Target.Instr.Ind _ -> true | _ -> false)
+    i.defs
+
+let subst_vreg ~from ~into (i : Target.Instr.t) =
+  let rewrite op =
+    match op with
+    | Target.Instr.Vreg v when v = from -> Target.Instr.Vreg into
+    | _ -> op
+  in
+  Target.Instr.map_operands rewrite i
+
+(* Store/load forwarding within one straight-line block. *)
+let forward_block (instrs : Target.Instr.t list) =
+  let changed = ref false in
+  let rec go = function
+    | [] -> []
+    | (i : Target.Instr.t) :: rest -> (
+      match (i.defs, i.uses) with
+      | [ Target.Instr.Dir m ], [ Target.Instr.Vreg va ]
+        when i.mode_set = None ->
+        (* i stores va to m; look ahead for a load of m. *)
+        let rec scan acc = function
+          | [] -> None
+          | (j : Target.Instr.t) :: tail -> (
+            match (j.defs, j.uses, j.operands) with
+            | ( [ Target.Instr.Vreg vb ],
+                [ Target.Instr.Dir m' ],
+                [ Target.Instr.Dir m'' ] )
+              when Ir.Mref.equal m m' && Ir.Mref.equal m m''
+                   && vb.Target.Instr.vcls = va.Target.Instr.vcls
+                   && j.mode_req = None && j.mode_set = None ->
+              Some (List.rev acc, vb, tail)
+            | _ ->
+              (* Stop at writes to the location, and at any redefinition of
+                 the source's register class: forwarding across one would
+                 stretch a single-register lifetime over another value. *)
+              let redefines_class =
+                List.exists
+                  (fun op ->
+                    List.exists
+                      (fun (v : Target.Instr.vreg) ->
+                        v.vcls = va.Target.Instr.vcls)
+                      (Target.Instr.vregs_of_operand op))
+                  j.defs
+              in
+              if writes_base j m.Ir.Mref.base || redefines_class then None
+              else scan (j :: acc) tail)
+        in
+        (match scan [] rest with
+        | Some (between, vb, tail) ->
+          changed := true;
+          let tail = List.map (subst_vreg ~from:vb ~into:va) tail in
+          let between = List.map (subst_vreg ~from:vb ~into:va) between in
+          i :: go (between @ tail)
+        | None -> i :: go rest)
+      | _ -> i :: go rest)
+  in
+  let out = go instrs in
+  (out, !changed)
+
+(* Dead-definition elimination within one block, against a global read set. *)
+let dce_block reads (instrs : Target.Instr.t list) =
+  let changed = ref false in
+  let live : (Target.Instr.vreg, unit) Hashtbl.t = Hashtbl.create 32 in
+  let mem_live : (Ir.Mref.t, unit) Hashtbl.t = Hashtbl.create 32 in
+  let mark_uses (i : Target.Instr.t) =
+    List.iter
+      (fun op ->
+        List.iter (fun v -> Hashtbl.replace live v ()) (Target.Instr.vregs_of_operand op);
+        List.iter (fun r -> Hashtbl.replace mem_live r ()) (operand_dirs op))
+      (i.uses @ i.operands)
+  in
+  let keep (i : Target.Instr.t) =
+    let deletable_def op =
+      match op with
+      | Target.Instr.Vreg v -> not (Hashtbl.mem live v)
+      | Target.Instr.Dir r ->
+        starts_with_dollar r.Ir.Mref.base
+        && (not (Hashtbl.mem reads r))
+        && not (Hashtbl.mem mem_live r)
+      | Target.Instr.Reg _ | Target.Instr.Imm _ | Target.Instr.Adr _
+      | Target.Instr.Ind _ ->
+        false
+    in
+    if
+      i.mode_set = None && i.funit <> "ctl" && i.defs <> []
+      && (not (has_ind (i.uses @ i.defs @ i.operands)))
+      && List.for_all deletable_def i.defs
+    then begin
+      changed := true;
+      false
+    end
+    else begin
+      mark_uses i;
+      true
+    end
+  in
+  let out = List.rev (List.filter keep (List.rev instrs)) in
+  (out, !changed)
+
+(* Apply a block transformation to every maximal Op run. *)
+let map_blocks f items =
+  let flush acc block out =
+    match acc with
+    | _ ->
+      if block = [] then out
+      else out @ List.map (fun i -> Target.Asm.Op i) (f (List.rev block))
+  in
+  let rec go items block out =
+    match items with
+    | [] -> flush () block out
+    | Target.Asm.Op i :: rest -> go rest (i :: block) out
+    | (Target.Asm.Par _ as p) :: rest -> go rest [] (flush () block out @ [ p ])
+    | Target.Asm.Loop { ivar; count; body } :: rest ->
+      let body' = go body [] [] in
+      go rest []
+        (flush () block out @ [ Target.Asm.Loop { ivar; count; body = body' } ])
+  in
+  go items [] []
+
+let run items =
+  let pass items =
+    let changed = ref false in
+    let reads = global_reads items in
+    let items =
+      map_blocks
+        (fun block ->
+          let block, c1 = forward_block block in
+          let block, c2 = dce_block reads block in
+          if c1 || c2 then changed := true;
+          block)
+        items
+    in
+    (items, !changed)
+  in
+  let rec fix items n =
+    if n = 0 then items
+    else
+      let items', changed = pass items in
+      if changed then fix items' (n - 1) else items'
+  in
+  fix items 10
+
+let count_instrs items =
+  let n = ref 0 in
+  let rec go = function
+    | Target.Asm.Op _ -> incr n
+    | Target.Asm.Par is -> n := !n + List.length is
+    | Target.Asm.Loop { body; _ } -> List.iter go body
+  in
+  List.iter go items;
+  !n
+
+let removed ~before ~after = count_instrs before - count_instrs after

@@ -1,0 +1,18 @@
+(** Post-selection cleanups on virtual-register code.
+
+    Two transformations, both running until fixpoint:
+    - store/load forwarding: a store of register [r] to a location followed,
+      with no intervening write to either, by a load of the same location
+      into a register of the same class — the load is deleted and its result
+      renamed to [r];
+    - dead store elimination of compiler scratch locations (names starting
+      with ["$"]) that are never read, plus instructions whose register
+      results are never used and that have no other effect.
+
+    Both run before register allocation and within one block at a time
+    (loops are barriers). *)
+
+val run : Target.Asm.item list -> Target.Asm.item list
+
+val removed : before:Target.Asm.item list -> after:Target.Asm.item list -> int
+(** Number of instructions eliminated (reporting). *)

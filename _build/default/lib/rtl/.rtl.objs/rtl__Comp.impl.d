@@ -1,0 +1,1 @@
+lib/rtl/comp.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/rtl/comp.mli: Format

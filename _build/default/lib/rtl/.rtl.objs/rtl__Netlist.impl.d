@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Comp Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/rtl/rtsim.ml: Array Comp Hashtbl Ir List Netlist Printf

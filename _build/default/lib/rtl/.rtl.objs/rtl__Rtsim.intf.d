@@ -1,0 +1,1 @@
+lib/rtl/rtsim.mli: Netlist

@@ -1,0 +1,1 @@
+lib/rtl/samples.ml: Comp Netlist

@@ -1,0 +1,119 @@
+type port = { comp : string; port : string }
+
+type t = {
+  name : string;
+  comps : Comp.t list;
+  wires : (port * port) list;
+}
+
+let find t name =
+  match List.find_opt (fun (c : Comp.t) -> c.name = name) t.comps with
+  | Some c -> c
+  | None -> raise Not_found
+
+let check t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let dup =
+    let seen = Hashtbl.create 16 in
+    List.find_opt
+      (fun (c : Comp.t) ->
+        if Hashtbl.mem seen c.name then true
+        else (
+          Hashtbl.add seen c.name ();
+          false))
+      t.comps
+  in
+  match dup with
+  | Some c -> err "duplicate component %s" c.name
+  | None -> (
+    let bad_wire =
+      List.find_opt
+        (fun (sink, src) ->
+          match (find t sink.comp, find t src.comp) with
+          | csink, csrc ->
+            (not (List.mem sink.port (Comp.inputs csink)))
+            || not (List.mem src.port (Comp.outputs csrc))
+          | exception Not_found -> true)
+        t.wires
+    in
+    match bad_wire with
+    | Some (sink, src) ->
+      err "bad wire %s.%s <- %s.%s" sink.comp sink.port src.comp src.port
+    | None -> (
+      (* Every input driven exactly once. *)
+      let drive_count sink =
+        List.length (List.filter (fun (s, _) -> s = sink) t.wires)
+      in
+      let missing =
+        List.concat_map
+          (fun (c : Comp.t) ->
+            List.filter_map
+              (fun port ->
+                let n = drive_count { comp = c.name; port } in
+                if n = 1 then None else Some (c.name, port, n))
+              (Comp.inputs c))
+          t.comps
+      in
+      match missing with
+      | (comp, port, 0) :: _ -> err "input %s.%s is undriven" comp port
+      | (comp, port, n) :: _ -> err "input %s.%s has %d drivers" comp port n
+      | [] ->
+        (* Fields must not overlap. *)
+        let field_bits =
+          List.concat_map
+            (fun (c : Comp.t) ->
+              match c.kind with
+              | Comp.Field (lo, hi) ->
+                List.init (hi - lo + 1) (fun i -> (lo + i, c.name))
+              | _ -> [])
+            t.comps
+        in
+        let clash =
+          let seen = Hashtbl.create 32 in
+          List.find_opt
+            (fun (bit, _) ->
+              if Hashtbl.mem seen bit then true
+              else (
+                Hashtbl.add seen bit ();
+                false))
+            field_bits
+        in
+        (match clash with
+        | Some (bit, name) ->
+          err "instruction bit %d used by %s overlaps another field" bit name
+        | None -> Ok ())))
+
+let make ~name ~comps ~wires =
+  let t = { name; comps; wires } in
+  match check t with
+  | Ok () -> t
+  | Error msg -> invalid_arg (Printf.sprintf "Netlist.make (%s): %s" name msg)
+
+let driver t sink =
+  match List.assoc_opt sink t.wires with
+  | Some src -> src
+  | None -> raise Not_found
+
+let storages t = List.filter Comp.is_storage t.comps
+
+let fields t =
+  List.filter
+    (fun (c : Comp.t) ->
+      match c.kind with Comp.Field _ -> true | _ -> false)
+    t.comps
+
+let word_width t =
+  List.fold_left
+    (fun acc (c : Comp.t) ->
+      match c.kind with Comp.Field (_, hi) -> max acc (hi + 1) | _ -> acc)
+    0 t.comps
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>netlist %s@," t.name;
+  List.iter (fun c -> Format.fprintf ppf "  %a@," Comp.pp c) t.comps;
+  List.iter
+    (fun (sink, src) ->
+      Format.fprintf ppf "  %s.%s <- %s.%s@," sink.comp sink.port src.comp
+        src.port)
+    t.wires;
+  Format.fprintf ppf "@]"

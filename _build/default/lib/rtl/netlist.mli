@@ -1,0 +1,33 @@
+(** RT-level netlists: components wired output-to-input. *)
+
+type port = { comp : string; port : string }
+
+type t = {
+  name : string;
+  comps : Comp.t list;
+  wires : (port * port) list;  (** (sink input, driving output) pairs *)
+}
+
+val make : name:string -> comps:Comp.t list -> wires:(port * port) list -> t
+(** Checks well-formedness (see {!check}). @raise Invalid_argument. *)
+
+val check : t -> (unit, string) result
+(** Component names unique; every wire endpoint names an existing component
+    port of the right direction; every input is driven by exactly one
+    output; instruction fields do not overlap. *)
+
+val find : t -> string -> Comp.t
+(** @raise Not_found *)
+
+val driver : t -> port -> port
+(** The output driving the given input. @raise Not_found when undriven. *)
+
+val storages : t -> Comp.t list
+(** Registers and memories, in declaration order. *)
+
+val fields : t -> Comp.t list
+
+val word_width : t -> int
+(** Total instruction width: 1 + the highest field bit. *)
+
+val pp : Format.formatter -> t -> unit

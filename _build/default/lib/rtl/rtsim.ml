@@ -1,0 +1,103 @@
+type state = {
+  width : int;
+  regs : (string, int) Hashtbl.t;
+  mems : (string, int array) Hashtbl.t;
+}
+
+let create ?(width = 16) (net : Netlist.t) =
+  let st = { width; regs = Hashtbl.create 8; mems = Hashtbl.create 4 } in
+  List.iter
+    (fun (c : Comp.t) ->
+      match c.kind with
+      | Comp.Register -> Hashtbl.replace st.regs c.name 0
+      | Comp.Memory n -> Hashtbl.replace st.mems c.name (Array.make n 0)
+      | Comp.Alu _ | Comp.Mux _ | Comp.Constant _ | Comp.Field _ -> ())
+    net.comps;
+  st
+
+let get_reg st name = Hashtbl.find st.regs name
+let set_reg st name v = Hashtbl.replace st.regs name v
+
+let the_mem st name =
+  match Hashtbl.find_opt st.mems name with
+  | Some m -> m
+  | None -> invalid_arg ("Rtsim: no memory " ^ name)
+
+let read_mem st name addr =
+  let m = the_mem st name in
+  if addr < 0 || addr >= Array.length m then
+    invalid_arg (Printf.sprintf "Rtsim: %s[%d] out of range" name addr);
+  m.(addr)
+
+let write_mem st name addr v =
+  let m = the_mem st name in
+  if addr < 0 || addr >= Array.length m then
+    invalid_arg (Printf.sprintf "Rtsim: %s[%d] out of range" name addr);
+  m.(addr) <- Ir.Eval.wrap ~width:st.width v
+
+let field_value word lo hi = (word lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+
+let step ?(force = []) (net : Netlist.t) st word =
+  (* Evaluate output ports combinationally, memoized, cycle-checked. *)
+  let memo : (Netlist.port, int) Hashtbl.t = Hashtbl.create 16 in
+  let visiting : (Netlist.port, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec out_value (src : Netlist.port) =
+    match Hashtbl.find_opt memo src with
+    | Some v -> v
+    | None when List.mem_assoc src force ->
+      let v = List.assoc src force in
+      Hashtbl.replace memo src v;
+      v
+    | None ->
+      if Hashtbl.mem visiting src then
+        invalid_arg
+          (Printf.sprintf "Rtsim: combinational cycle at %s.%s" src.comp
+             src.port);
+      Hashtbl.replace visiting src ();
+      let c = Netlist.find net src.comp in
+      let in_value port = out_value (Netlist.driver net { comp = c.name; port }) in
+      let v =
+        match c.kind with
+        | Comp.Register -> get_reg st c.name
+        | Comp.Memory _ -> read_mem st c.name (in_value "addr")
+        | Comp.Constant k -> k
+        | Comp.Field (lo, hi) -> field_value word lo hi
+        | Comp.Mux n ->
+          let sel = in_value "sel" in
+          if sel < 0 || sel >= n then
+            invalid_arg (Printf.sprintf "Rtsim: %s.sel = %d" c.name sel);
+          in_value (Printf.sprintf "in%d" sel)
+        | Comp.Alu table -> (
+          let sel = in_value "sel" in
+          match List.assoc_opt sel table with
+          | Some op -> Comp.eval_alu op (in_value "a") (in_value "b")
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Rtsim: %s has no function %d" c.name sel))
+      in
+      Hashtbl.remove visiting src;
+      Hashtbl.replace memo src v;
+      v
+  in
+  let in_of comp port = out_value (Netlist.driver net { comp; port }) in
+  (* Compute all next-state values from the OLD state, then commit. *)
+  let commits =
+    List.filter_map
+      (fun (c : Comp.t) ->
+        match c.kind with
+        | Comp.Register ->
+          if in_of c.name "we" land 1 = 1 then
+            Some (`Reg (c.name, in_of c.name "d"))
+          else None
+        | Comp.Memory _ ->
+          if in_of c.name "we" land 1 = 1 then
+            Some (`Mem (c.name, in_of c.name "addr", in_of c.name "din"))
+          else None
+        | Comp.Alu _ | Comp.Mux _ | Comp.Constant _ | Comp.Field _ -> None)
+      net.comps
+  in
+  List.iter
+    (function
+      | `Reg (name, v) -> set_reg st name v
+      | `Mem (name, addr, v) -> write_mem st name addr v)
+    commits

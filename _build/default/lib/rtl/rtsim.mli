@@ -1,0 +1,22 @@
+(** Cycle-level simulation of a netlist: the ground truth the extracted
+    instruction set must agree with. *)
+
+type state
+
+val create : ?width:int -> Netlist.t -> state
+(** All registers and memories zero. Default [width] 16 (memory cells wrap
+    on write; registers are exact, like the compiled-code machines). *)
+
+val get_reg : state -> string -> int
+val set_reg : state -> string -> int -> unit
+val read_mem : state -> string -> int -> int
+val write_mem : state -> string -> int -> int -> unit
+
+val step : ?force:((Netlist.port * int) list) -> Netlist.t -> state -> int
+  -> unit
+(** Executes one instruction word: evaluates the combinational logic from
+    the current storage values and the word's field bits, then clocks every
+    storage whose write enable is 1. [force] pins component outputs to fixed
+    values — stuck-at fault injection for self-test evaluation (§4.5).
+    @raise Invalid_argument on a combinational cycle or an ALU select code
+    outside the function table. *)

@@ -1,0 +1,124 @@
+let p comp port = { Netlist.comp; port }
+
+let alu_table =
+  [
+    (0, Comp.Fadd);
+    (1, Comp.Fsub);
+    (2, Comp.Fand);
+    (3, Comp.For_);
+    (4, Comp.Fxor);
+    (5, Comp.Fpass_b);
+    (6, Comp.Fmul);
+  ]
+
+let acc16 =
+  Netlist.make ~name:"acc16"
+    ~comps:
+      [
+        { Comp.name = "acc"; kind = Comp.Register };
+        { Comp.name = "ram"; kind = Comp.Memory 64 };
+        { Comp.name = "alu"; kind = Comp.Alu alu_table };
+        { Comp.name = "bmux"; kind = Comp.Mux 2 };
+        { Comp.name = "opc"; kind = Comp.Field (0, 2) };
+        { Comp.name = "addr"; kind = Comp.Field (3, 8) };
+        { Comp.name = "imm"; kind = Comp.Field (9, 14) };
+        { Comp.name = "bsel"; kind = Comp.Field (15, 15) };
+        { Comp.name = "wacc"; kind = Comp.Field (16, 16) };
+        { Comp.name = "wmem"; kind = Comp.Field (17, 17) };
+      ]
+    ~wires:
+      [
+        (p "alu" "a", p "acc" "q");
+        (p "bmux" "in0", p "ram" "dout");
+        (p "bmux" "in1", p "imm" "out");
+        (p "bmux" "sel", p "bsel" "out");
+        (p "alu" "b", p "bmux" "out");
+        (p "alu" "sel", p "opc" "out");
+        (p "acc" "d", p "alu" "f");
+        (p "acc" "we", p "wacc" "out");
+        (p "ram" "addr", p "addr" "out");
+        (p "ram" "din", p "acc" "q");
+        (p "ram" "we", p "wmem" "out");
+      ]
+
+let dual_alu_table = alu_table @ [ (7, Comp.Fpass_a) ]
+
+let acc16_dualreg =
+  Netlist.make ~name:"acc16_dualreg"
+    ~comps:
+      [
+        { Comp.name = "acc"; kind = Comp.Register };
+        { Comp.name = "bcc"; kind = Comp.Register };
+        { Comp.name = "ram"; kind = Comp.Memory 64 };
+        { Comp.name = "alu"; kind = Comp.Alu dual_alu_table };
+        { Comp.name = "amux"; kind = Comp.Mux 2 };
+        { Comp.name = "bmux"; kind = Comp.Mux 2 };
+        { Comp.name = "opc"; kind = Comp.Field (0, 2) };
+        { Comp.name = "addr"; kind = Comp.Field (3, 8) };
+        { Comp.name = "imm"; kind = Comp.Field (9, 14) };
+        { Comp.name = "bsel"; kind = Comp.Field (15, 15) };
+        { Comp.name = "asel"; kind = Comp.Field (16, 16) };
+        { Comp.name = "wacc"; kind = Comp.Field (17, 17) };
+        { Comp.name = "wmem"; kind = Comp.Field (18, 18) };
+        { Comp.name = "wbcc"; kind = Comp.Field (19, 19) };
+      ]
+    ~wires:
+      [
+        (p "amux" "in0", p "acc" "q");
+        (p "amux" "in1", p "bcc" "q");
+        (p "amux" "sel", p "asel" "out");
+        (p "alu" "a", p "amux" "out");
+        (p "bmux" "in0", p "ram" "dout");
+        (p "bmux" "in1", p "imm" "out");
+        (p "bmux" "sel", p "bsel" "out");
+        (p "alu" "b", p "bmux" "out");
+        (p "alu" "sel", p "opc" "out");
+        (p "acc" "d", p "alu" "f");
+        (p "acc" "we", p "wacc" "out");
+        (p "bcc" "d", p "alu" "f");
+        (p "bcc" "we", p "wbcc" "out");
+        (p "ram" "addr", p "addr" "out");
+        (p "ram" "din", p "acc" "q");
+        (p "ram" "we", p "wmem" "out");
+      ]
+
+(* Chained datapath: mult (hard-wired to multiply) feeds the accumulator
+   ALU; treg is the multiplier's dedicated input register. *)
+let mac16 =
+  Netlist.make ~name:"mac16"
+    ~comps:
+      [
+        { Comp.name = "acc"; kind = Comp.Register };
+        { Comp.name = "treg"; kind = Comp.Register };
+        { Comp.name = "ram"; kind = Comp.Memory 64 };
+        { Comp.name = "mult"; kind = Comp.Alu [ (0, Comp.Fmul) ] };
+        { Comp.name = "addsub";
+          kind = Comp.Alu [ (0, Comp.Fadd); (1, Comp.Fsub); (2, Comp.Fpass_b) ] };
+        { Comp.name = "bmux"; kind = Comp.Mux 2 };
+        { Comp.name = "zero"; kind = Comp.Constant 0 };
+        { Comp.name = "op2"; kind = Comp.Field (0, 1) };
+        { Comp.name = "addr"; kind = Comp.Field (2, 7) };
+        { Comp.name = "bsel"; kind = Comp.Field (8, 8) };
+        { Comp.name = "wacc"; kind = Comp.Field (9, 9) };
+        { Comp.name = "wt"; kind = Comp.Field (10, 10) };
+        { Comp.name = "wmem"; kind = Comp.Field (11, 11) };
+      ]
+    ~wires:
+      [
+        (p "mult" "a", p "treg" "q");
+        (p "mult" "b", p "ram" "dout");
+        (p "mult" "sel", p "zero" "out");
+        (p "bmux" "in0", p "mult" "f");
+        (p "bmux" "in1", p "ram" "dout");
+        (p "bmux" "sel", p "bsel" "out");
+        (p "addsub" "a", p "acc" "q");
+        (p "addsub" "b", p "bmux" "out");
+        (p "addsub" "sel", p "op2" "out");
+        (p "acc" "d", p "addsub" "f");
+        (p "acc" "we", p "wacc" "out");
+        (p "treg" "d", p "ram" "dout");
+        (p "treg" "we", p "wt" "out");
+        (p "ram" "addr", p "addr" "out");
+        (p "ram" "din", p "acc" "q");
+        (p "ram" "we", p "wmem" "out");
+      ]

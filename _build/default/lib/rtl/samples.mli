@@ -1,0 +1,21 @@
+(** Example netlists. *)
+
+val acc16 : Netlist.t
+(** A small accumulator ASIP defined at RT level (the Fig. 3 scenario): one
+    accumulator, a 64-word RAM addressed by an instruction field, an ALU
+    with add/sub/and/or/xor/pass-B/multiply, and a B-side mux selecting
+    between memory and a 6-bit immediate field. Write enables and selects
+    are instruction bits, so the whole instruction set is extractable. *)
+
+val acc16_dualreg : Netlist.t
+(** [acc16] extended with a second register [bcc] loadable from the ALU and
+    feeding a second mux on the A side — exercises extraction with several
+    destinations and heterogeneous register operands. *)
+
+val mac16 : Netlist.t
+(** A multiply-accumulate datapath: a dedicated multiplier input register
+    [treg] (loaded from memory), a multiplier whose product feeds the B side
+    of the accumulator ALU through a mux, and a hard-wired multiplier
+    select. Extraction walks through two chained ALUs and yields deep
+    patterns like [acc := acc + treg * ram\[addr\]] — the MAC instruction —
+    with heterogeneous register operands (cf. Fig. 3's discussion). *)

@@ -1,0 +1,295 @@
+type case = {
+  transfer : Ise.Transfer.t;
+  asm : Target.Asm.t;
+  observe : string;
+  expected : int;
+}
+
+type suite = {
+  net : Rtl.Netlist.t;
+  layout : Target.Layout.t;
+  inputs : (string * int array) list;
+  cases : case list;
+  untestable : string list;
+}
+
+type coverage = {
+  faults : int;
+  detected : int;
+  escaped : (string * int) list;
+}
+
+(* A direct way of loading register [r] from a memory cell: a chain of
+   transfers reg <- reg <- ... <- mem, depth-bounded. Returns the opcode
+   chain innermost (memory load) first. *)
+let rec justify_path transfers seen r depth =
+  if depth = 0 || List.mem r seen then None
+  else
+    let direct =
+      List.find_opt
+        (fun (t : Ise.Transfer.t) ->
+          match (t.dest, t.expr) with
+          | Ise.Transfer.Dreg d, Ise.Transfer.Leaf (Ise.Transfer.Mem_direct _)
+            ->
+            d = r
+          | _ -> false)
+        transfers
+    in
+    match direct with
+    | Some t -> Some [ t ]
+    | None -> (
+      let via_reg =
+        List.filter_map
+          (fun (t : Ise.Transfer.t) ->
+            match (t.dest, t.expr) with
+            | Ise.Transfer.Dreg d, Ise.Transfer.Leaf (Ise.Transfer.Reg src)
+              when d = r ->
+              Some (t, src)
+            | _ -> None)
+          transfers
+      in
+      List.find_map
+        (fun (t, src) ->
+          Option.map
+            (fun path -> path @ [ t ])
+            (justify_path transfers (r :: seen) src (depth - 1)))
+        via_reg)
+
+(* A way of observing register [r] in memory: a direct store, or one move
+   into a storable register followed by its store. Returns the transfer
+   chain in execution order. *)
+let observe_path transfers r =
+  let store_of r =
+    List.find_opt
+      (fun (t : Ise.Transfer.t) ->
+        match (t.dest, t.expr) with
+        | Ise.Transfer.Dmem _, Ise.Transfer.Leaf (Ise.Transfer.Reg src) ->
+          src = r
+        | _ -> false)
+      transfers
+  in
+  match store_of r with
+  | Some t -> Some [ t ]
+  | None ->
+    List.find_map
+      (fun (t : Ise.Transfer.t) ->
+        match (t.dest, t.expr) with
+        | Ise.Transfer.Dreg d, Ise.Transfer.Leaf (Ise.Transfer.Reg src)
+          when src = r && d <> r -> (
+          match store_of d with
+          | Some st -> Some [ t; st ]
+          | None -> None)
+        | _ -> None)
+      transfers
+
+let generate ?(values = [ 21; 13; 7; 3 ]) net =
+  let transfers = Ise.Extract.run net in
+  let cells = ref [] in
+  (* Cells are read-only test patterns, so one cell per distinct value. *)
+  let fresh_cell =
+    let by_value = Hashtbl.create 8 in
+    let n = ref 0 in
+    fun value ->
+      match Hashtbl.find_opt by_value value with
+      | Some name -> name
+      | None ->
+        let name = Printf.sprintf "tin%d" !n in
+        incr n;
+        cells := (name, value) :: !cells;
+        Hashtbl.replace by_value value name;
+        name
+  in
+  let obs = "tobs" in
+  let untestable = ref [] in
+  let wrap16 = Ir.Eval.wrap ~width:16 in
+  let case_for (t : Ise.Transfer.t) =
+    let value_cursor = ref values in
+    let next_value () =
+      match !value_cursor with
+      | v :: rest ->
+        value_cursor := rest;
+        v
+      | [] -> 21
+    in
+    let setup = ref [] in
+    let exercise_operands = ref [] in
+    let regs_env = ref [] in
+    let emit_op (tr : Ise.Transfer.t) operands =
+      Target.Asm.Op
+        (Target.Instr.make tr.Ise.Transfer.name ~operands)
+    in
+    let justify_reg r =
+      match justify_path transfers [] r 3 with
+      | None -> None
+      | Some path ->
+        let v = next_value () in
+        let cell = fresh_cell v in
+        regs_env := (r, v) :: !regs_env;
+        Some
+          (List.map
+             (fun (tr : Ise.Transfer.t) ->
+               match tr.expr with
+               | Ise.Transfer.Leaf (Ise.Transfer.Mem_direct _) ->
+                 emit_op tr [ Target.Instr.Dir (Ir.Mref.scalar cell) ]
+               | _ -> emit_op tr [])
+             path)
+    in
+    let ok = ref true in
+    List.iter
+      (fun leaf ->
+        match leaf with
+        | Ise.Transfer.Reg r ->
+          if not (List.mem_assoc r !regs_env) then (
+            match justify_reg r with
+            | Some instrs -> setup := !setup @ instrs
+            | None -> ok := false)
+        | Ise.Transfer.Mem_direct _ ->
+          let v = next_value () in
+          let cell = fresh_cell v in
+          exercise_operands :=
+            !exercise_operands
+            @ [ (Target.Instr.Dir (Ir.Mref.scalar cell), v) ]
+        | Ise.Transfer.Imm (_, w) ->
+          let v = next_value () land ((1 lsl w) - 1) in
+          exercise_operands := !exercise_operands @ [ (Target.Instr.Imm v, v) ]
+        | Ise.Transfer.Const _ -> ())
+      (Ise.Transfer.leaves t.expr);
+    if not !ok then begin
+      untestable := t.name :: !untestable;
+      None
+    end
+    else begin
+      (* Expected value: interpret the expression over the chosen values. *)
+      let operand_values = ref (List.map snd !exercise_operands) in
+      let next_operand_value () =
+        match !operand_values with
+        | v :: rest ->
+          operand_values := rest;
+          v
+        | [] -> assert false
+      in
+      let rec eval = function
+        | Ise.Transfer.Leaf (Ise.Transfer.Reg r) -> List.assoc r !regs_env
+        | Ise.Transfer.Leaf (Ise.Transfer.Mem_direct _)
+        | Ise.Transfer.Leaf (Ise.Transfer.Imm _) ->
+          next_operand_value ()
+        | Ise.Transfer.Leaf (Ise.Transfer.Const k) -> k
+        | Ise.Transfer.Unop (op, a) -> Ir.Op.eval_unop op ~width:16 (eval a)
+        | Ise.Transfer.Binop (op, a, b) ->
+          let va = eval a in
+          let vb = eval b in
+          Ir.Op.eval_binop op va vb
+      in
+      let result = eval t.expr in
+      let operands = List.map fst !exercise_operands in
+      match t.dest with
+      | Ise.Transfer.Dmem _ ->
+        (* The transfer itself writes memory: point it at the observer. *)
+        let exercise =
+          emit_op t (operands @ [ Target.Instr.Dir (Ir.Mref.scalar obs) ])
+        in
+        Some
+          {
+            transfer = t;
+            asm =
+              Target.Asm.make ~name:("test_" ^ t.name) (!setup @ [ exercise ]);
+            observe = obs;
+            expected = wrap16 result;
+          }
+      | Ise.Transfer.Dreg r -> (
+        match observe_path transfers r with
+        | None ->
+          untestable := t.name :: !untestable;
+          None
+        | Some chain ->
+          let exercise = emit_op t operands in
+          let observe_instrs =
+            List.map
+              (fun (tr : Ise.Transfer.t) ->
+                match tr.dest with
+                | Ise.Transfer.Dmem _ ->
+                  emit_op tr [ Target.Instr.Dir (Ir.Mref.scalar obs) ]
+                | Ise.Transfer.Dreg _ -> emit_op tr [])
+              chain
+          in
+          Some
+            {
+              transfer = t;
+              asm =
+                Target.Asm.make ~name:("test_" ^ t.name)
+                  (!setup @ (exercise :: observe_instrs));
+              observe = obs;
+              expected = wrap16 result;
+            })
+    end
+  in
+  let cases = List.filter_map case_for transfers in
+  let layout =
+    Target.Layout.make ~banks:[ "data" ]
+      (List.map (fun (name, _) -> (name, 1, "data")) (List.rev !cells)
+      @ [ (obs, 1, "data") ])
+  in
+  {
+    net;
+    layout;
+    inputs = List.rev_map (fun (name, v) -> (name, [| v |])) !cells;
+    cases;
+    untestable = List.rev !untestable;
+  }
+
+let run_case ?(force = []) suite case =
+  let words = Ise.Encode.assemble suite.net ~layout:suite.layout case.asm in
+  let st = Rtl.Rtsim.create suite.net in
+  let mem =
+    match
+      List.find_opt
+        (fun (c : Rtl.Comp.t) ->
+          match c.kind with Rtl.Comp.Memory _ -> true | _ -> false)
+        (Rtl.Netlist.storages suite.net)
+    with
+    | Some c -> c.Rtl.Comp.name
+    | None -> invalid_arg "Selftest.run_case: netlist has no memory"
+  in
+  List.iter
+    (fun (name, values) ->
+      let e = Target.Layout.find suite.layout name in
+      Rtl.Rtsim.write_mem st mem e.Target.Layout.addr values.(0))
+    suite.inputs;
+  List.iter (fun w -> Rtl.Rtsim.step ~force suite.net st w) words;
+  let e = Target.Layout.find suite.layout case.observe in
+  Rtl.Rtsim.read_mem st mem e.Target.Layout.addr = case.expected
+
+let run suite =
+  List.map
+    (fun case -> (case.transfer.Ise.Transfer.name, run_case suite case))
+    suite.cases
+
+let fault_coverage suite =
+  let fault_sites =
+    List.concat_map
+      (fun (c : Rtl.Comp.t) ->
+        match c.kind with
+        | Rtl.Comp.Alu _ -> [ { Rtl.Netlist.comp = c.name; port = "f" } ]
+        | Rtl.Comp.Mux _ -> [ { Rtl.Netlist.comp = c.name; port = "out" } ]
+        | _ -> [])
+      suite.net.Rtl.Netlist.comps
+  in
+  let faults =
+    List.concat_map (fun site -> [ (site, 0); (site, 1) ]) fault_sites
+  in
+  let escaped =
+    List.filter_map
+      (fun (site, v) ->
+        let detected =
+          List.exists
+            (fun case -> not (run_case ~force:[ (site, v) ] suite case))
+            suite.cases
+        in
+        if detected then None else Some (site.Rtl.Netlist.comp, v))
+      faults
+  in
+  {
+    faults = List.length faults;
+    detected = List.length faults - List.length escaped;
+    escaped;
+  }

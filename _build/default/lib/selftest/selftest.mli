@@ -1,0 +1,46 @@
+(** Self-test program generation with a retargetable compiler (paper §4.5,
+    Krüger '91 / Bieker '95).
+
+    For every extracted transfer of a netlist, the generator plans a small
+    program — value justification into the transfer's register operands,
+    the transfer under test, value propagation of the destination to an
+    observable memory cell — plus the expected observation. Running the
+    programs on the RT simulator tests the (simulated) silicon; injecting
+    stuck-at faults measures the suite's coverage. *)
+
+type case = {
+  transfer : Ise.Transfer.t;
+  asm : Target.Asm.t;  (** justify + exercise + observe *)
+  observe : string;  (** memory cell holding the result *)
+  expected : int;
+}
+
+type suite = {
+  net : Rtl.Netlist.t;
+  layout : Target.Layout.t;
+  inputs : (string * int array) list;  (** test-pattern cells *)
+  cases : case list;
+  untestable : string list;
+      (** transfers whose operands could not be justified *)
+}
+
+val generate : ?values:int list -> Rtl.Netlist.t -> suite
+(** One case per extracted transfer (several when [values] provides several
+    operand patterns; default two patterns). *)
+
+val run_case : ?force:(Rtl.Netlist.port * int) list -> suite -> case -> bool
+(** Executes the case on the RT simulator (with optional injected faults)
+    and checks the observation. *)
+
+val run : suite -> (string * bool) list
+(** All cases on the fault-free netlist. *)
+
+type coverage = {
+  faults : int;
+  detected : int;
+  escaped : (string * int) list;  (** undetected (component, stuck value) *)
+}
+
+val fault_coverage : suite -> coverage
+(** Injects stuck-at-0 and stuck-at-1 (value 1) faults on every ALU and mux
+    output and counts how many some case detects. *)

@@ -1,0 +1,29 @@
+(** Instruction-set simulator.
+
+    Executes structured assembly against a machine's semantics, counting
+    cycles: one instruction costs its [cycles] field, a packed parallel word
+    costs one cycle, a loop costs its body on every iteration.
+
+    The simulator also acts as a dynamic checker: an instruction whose mode
+    requirement is not met by the current machine state aborts the run —
+    catching mode-minimization bugs instead of silently mis-executing. *)
+
+exception Mode_violation of string
+exception Exec_error of string
+
+type outcome = {
+  cycles : int;
+  state : Target.Mstate.t;  (** final machine state, for inspection *)
+}
+
+val run :
+  ?width:int ->
+  Target.Machine.t ->
+  layout:Target.Layout.t ->
+  inputs:(string * int array) list ->
+  Target.Asm.t ->
+  outcome
+(** Fresh machine state, inputs written to memory, program executed. *)
+
+val outputs : outcome -> Ir.Prog.t -> (string * int array) list
+(** Reads the program's output variables from the final state. *)

@@ -1,0 +1,1 @@
+test/test_burg.ml: Alcotest Burg Ir List Pattern QCheck QCheck_alcotest Rule Target

@@ -1,0 +1,1 @@
+test/test_dfl.ml: Alcotest Array Dfl Ir List String

@@ -1,0 +1,1 @@
+test/test_dspstone.ml: Alcotest Dspstone List Printf Record Target

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_burg Test_dfl Test_dspstone Test_ir Test_mdl Test_opt Test_pipeline Test_rtl_ise Test_selftest Test_target Test_timing

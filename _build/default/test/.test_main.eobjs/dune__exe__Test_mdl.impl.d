@@ -1,0 +1,1 @@
+test/test_mdl.ml: Alcotest Array Burg Dfl Dspstone Ir Ise List Mdl Record Target

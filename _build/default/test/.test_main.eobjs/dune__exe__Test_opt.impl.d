@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Dfl Gen Ir List Opt Option Printf QCheck QCheck_alcotest Target

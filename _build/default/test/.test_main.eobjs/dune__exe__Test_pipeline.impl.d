@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Dfl Dspstone Format Hashtbl Ir List Mdl Printf QCheck QCheck_alcotest Record Target

@@ -1,0 +1,1 @@
+test/test_rtl_ise.ml: Alcotest Burg Dfl Format Ir Ise List QCheck QCheck_alcotest Record Rtl Selftest Target

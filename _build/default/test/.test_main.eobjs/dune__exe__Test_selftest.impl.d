@@ -1,0 +1,1 @@
+test/test_selftest.ml: Alcotest Ise List Rtl Selftest

@@ -1,0 +1,1 @@
+test/test_target.ml: Alcotest Burg Dspstone Ir List Record Sim Target

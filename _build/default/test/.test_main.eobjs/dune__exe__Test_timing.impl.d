@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Dfl Dspstone Ir List Printf Record Target

@@ -1,0 +1,154 @@
+(* The DSPStone evaluation: every kernel's hand assembly, RECORD output, and
+   conventional-compiler output must agree with the reference interpreter,
+   and the Table 1 measurements must have the paper's shape. *)
+
+let test_kernel_validates name () =
+  match Dspstone.Suite.validate (Dspstone.Kernels.find name) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_kernel_count () =
+  Alcotest.(check int) "ten kernels" 10 (List.length Dspstone.Kernels.all);
+  Alcotest.(check int) "two extended" 2 (List.length Dspstone.Kernels.extended)
+
+let test_hand_sizes_stable () =
+  (* The hand-assembly reference sizes: changing them silently would skew
+     every Table 1 ratio. *)
+  let expected =
+    [
+      ("real_update", 5); ("complex_multiply", 13); ("complex_update", 15);
+      ("n_real_updates", 12); ("n_complex_updates", 34); ("fir", 17);
+      ("iir_biquad_one_section", 21); ("iir_biquad_n_sections", 36);
+      ("dot_product", 8); ("convolution", 8); ("lms", 33); ("matrix_1x3", 24);
+    ]
+  in
+  List.iter
+    (fun (name, words) ->
+      Alcotest.(check int) name words
+        (Target.Asm.words (Dspstone.Handasm.find name)))
+    expected
+
+let test_table1_shape () =
+  let rows = Dspstone.Suite.table1 () in
+  List.iter
+    (fun (r : Dspstone.Suite.row) ->
+      (* Hand assembly is never beaten on size. *)
+      Alcotest.(check bool)
+        (r.kernel ^ ": hand <= RECORD") true
+        (r.hand_words <= r.record_words);
+      (* RECORD is never larger than the conventional compiler. *)
+      Alcotest.(check bool)
+        (r.kernel ^ ": RECORD <= conventional") true
+        (r.record_words <= r.conv_words);
+      (* The paper's overhead claim: conventional compilers are 1.5x-8x. *)
+      let factor = float r.conv_words /. float r.hand_words in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: conv factor %.2f in [1.5, 8]" r.kernel factor)
+        true
+        (factor >= 1.5 && factor <= 8.0))
+    rows
+
+let test_table1_record_close_to_hand () =
+  (* §4.3.5: "retargetable compilers can compete" — RECORD stays within 2x
+     of hand assembly on every kernel. *)
+  List.iter
+    (fun (r : Dspstone.Suite.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d%%" r.kernel (Dspstone.Suite.record_pct r))
+        true
+        (Dspstone.Suite.record_pct r <= 200))
+    (Dspstone.Suite.table1 ())
+
+let test_fir_uses_rpt_mac_in_hand_code () =
+  (* The hand code's decisive trick (cf. fir = 200% in the paper). *)
+  let ops = ref [] in
+  Target.Asm.iter
+    (fun i -> ops := i.Target.Instr.opcode :: !ops)
+    (Dspstone.Handasm.find "fir");
+  Alcotest.(check bool) "RPTMAC" true (List.mem "RPTMAC" !ops)
+
+let test_kernels_on_other_machines () =
+  (* Retargetability: loop kernels compile and validate on dsp56, risc32 and
+     the default ASIP too (those with enough address registers). *)
+  let machines =
+    [ Target.Dsp56.machine; Target.Risc32.machine;
+      Target.Asip.machine { Target.Asip.default with Target.Asip.address_regs = 8 } ]
+  in
+  let kernels =
+    [ "real_update"; "complex_multiply"; "fir"; "dot_product"; "convolution";
+      "n_real_updates" ]
+  in
+  List.iter
+    (fun (machine : Target.Machine.t) ->
+      List.iter
+        (fun name ->
+          let k = Dspstone.Kernels.find name in
+          let prog = Dspstone.Kernels.prog k in
+          let c = Record.Pipeline.compile machine prog in
+          let outs, _ = Record.Pipeline.execute c ~inputs:k.Dspstone.Kernels.inputs in
+          let expected = Dspstone.Kernels.reference_outputs k in
+          List.iter
+            (fun (n, v) ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "%s/%s/%s" machine.Target.Machine.name name n)
+                v (List.assoc n outs))
+            expected)
+        kernels)
+    machines
+
+let suites =
+  [
+    ( "dspstone",
+      Alcotest.test_case "ten kernels" `Quick test_kernel_count
+      :: List.map
+           (fun (k : Dspstone.Kernels.t) ->
+             Alcotest.test_case ("validate " ^ k.name) `Quick
+               (test_kernel_validates k.name))
+           (Dspstone.Kernels.all @ Dspstone.Kernels.extended)
+      @ [
+          Alcotest.test_case "hand sizes stable" `Quick test_hand_sizes_stable;
+          Alcotest.test_case "table 1 shape" `Quick test_table1_shape;
+          Alcotest.test_case "RECORD within 2x of hand" `Quick
+            test_table1_record_close_to_hand;
+          Alcotest.test_case "fir hand code uses RPT/MAC" `Quick
+            test_fir_uses_rpt_mac_in_hand_code;
+          Alcotest.test_case "kernels retarget to other machines" `Quick
+            test_kernels_on_other_machines;
+        ] );
+  ]
+
+(* ---- Golden listings -------------------------------------------------------- *)
+
+(* Exact opcode sequences for two stable kernels: any code-generator change
+   that alters them should be a conscious decision. *)
+let opcode_sequence name =
+  let k = Dspstone.Kernels.find name in
+  let c = Record.Pipeline.compile Target.Tic25.machine (Dspstone.Kernels.prog k) in
+  let out = ref [] in
+  Target.Asm.iter
+    (fun i -> out := i.Target.Instr.opcode :: !out)
+    c.Record.Pipeline.asm;
+  List.rev !out
+
+let test_golden_real_update () =
+  Alcotest.(check (list string)) "real_update"
+    [ "LT"; "MPY"; "LAC"; "APAC"; "SACL" ]
+    (opcode_sequence "real_update")
+
+let test_golden_complex_multiply () =
+  Alcotest.(check (list string)) "complex_multiply"
+    [
+      "LT"; "MPY"; "PAC"; "LT"; "MPY"; "SPAC"; "SACL";
+      "LT"; "MPY"; "PAC"; "LT"; "MPY"; "APAC"; "SACL";
+    ]
+    (opcode_sequence "complex_multiply")
+
+let golden_suite =
+  ( "dspstone.golden",
+    [
+      Alcotest.test_case "real_update listing" `Quick test_golden_real_update;
+      Alcotest.test_case "complex_multiply listing" `Quick
+        test_golden_complex_multiply;
+    ] )
+
+let suites = suites @ [ golden_suite ]

@@ -1,0 +1,607 @@
+(* Tests for the back-end optimization passes: AGU lowering, register
+   allocation, mode minimization, peephole, compaction, memory banks, and
+   offset assignment. *)
+
+let vreg cls id = Target.Instr.Vreg { Target.Instr.vcls = cls; vid = id }
+let dir name = Target.Instr.Dir (Ir.Mref.scalar name)
+let op i = Target.Asm.Op i
+
+let opcodes items =
+  let out = ref [] in
+  let rec go = function
+    | Target.Asm.Op i -> out := i.Target.Instr.opcode :: !out
+    | Target.Asm.Par is ->
+      List.iter (fun i -> out := i.Target.Instr.opcode :: !out) is
+    | Target.Asm.Loop { body; _ } -> List.iter go body
+  in
+  List.iter go items;
+  List.rev !out
+
+(* ---- Agu ----------------------------------------------------------------- *)
+
+let induct ?(offset = 0) ?(step = 1) base =
+  Target.Instr.Dir (Ir.Mref.induct ~offset ~step base ~ivar:"i")
+
+let load_instr operand =
+  Target.Instr.make "LAC" ~operands:[ operand ] ~defs:[ vreg "acc" 99 ]
+    ~uses:[ operand ]
+
+let test_agu_streams () =
+  let body = [ op (load_instr (induct "a")); op (load_instr (induct "b")) ] in
+  let ctx = Target.Machine.create_ctx () in
+  let agu = Option.get Target.Tic25.machine.Target.Machine.agu in
+  let inits, body', n = Opt.Agu.lower_loop agu ctx "i" body in
+  Alcotest.(check int) "two streams" 2 n;
+  Alcotest.(check int) "two AR loads" 2 (List.length inits);
+  (* Every rewritten access is indirect with a post-increment (single
+     occurrence per stream). *)
+  List.iter
+    (fun item ->
+      match item with
+      | Target.Asm.Op i -> (
+        match i.Target.Instr.operands with
+        | [ Target.Instr.Ind (_, Target.Instr.Post_inc, Some _) ] -> ()
+        | _ -> Alcotest.fail "expected post-increment indirect operand")
+      | _ -> Alcotest.fail "unexpected item")
+    body'
+
+let test_agu_shared_stream_single_increment () =
+  (* Two accesses to the same stream: only the last one increments. *)
+  let body = [ op (load_instr (induct "a")); op (load_instr (induct "a")) ] in
+  let ctx = Target.Machine.create_ctx () in
+  let agu = Option.get Target.Tic25.machine.Target.Machine.agu in
+  let _, body', n = Opt.Agu.lower_loop agu ctx "i" body in
+  Alcotest.(check int) "one stream" 1 n;
+  let updates =
+    List.map
+      (fun item ->
+        match item with
+        | Target.Asm.Op
+            { Target.Instr.operands = [ Target.Instr.Ind (_, u, _) ]; _ } ->
+          u
+        | _ -> Alcotest.fail "unexpected")
+      body'
+  in
+  Alcotest.(check bool) "first no update" true
+    (List.nth updates 0 = Target.Instr.No_update);
+  Alcotest.(check bool) "last post-inc" true
+    (List.nth updates 1 = Target.Instr.Post_inc)
+
+let test_agu_descending () =
+  let body = [ op (load_instr (induct ~offset:15 ~step:(-1) "x")) ] in
+  let ctx = Target.Machine.create_ctx () in
+  let agu = Option.get Target.Tic25.machine.Target.Machine.agu in
+  let _, body', _ = Opt.Agu.lower_loop agu ctx "i" body in
+  match body' with
+  | [ Target.Asm.Op
+        { Target.Instr.operands = [ Target.Instr.Ind (_, Target.Instr.Post_dec, _) ]; _ } ] ->
+    ()
+  | _ -> Alcotest.fail "expected post-decrement"
+
+let test_agu_too_many_streams () =
+  let body =
+    List.init 9 (fun k -> op (load_instr (induct (Printf.sprintf "v%d" k))))
+  in
+  let ctx = Target.Machine.create_ctx () in
+  let agu = Option.get Target.Tic25.machine.Target.Machine.agu in
+  match Opt.Agu.lower_loop agu ctx "i" body with
+  | _ -> Alcotest.fail "expected Too_many_streams"
+  | exception Opt.Agu.Too_many_streams _ -> ()
+
+(* ---- Regalloc -------------------------------------------------------------- *)
+
+let test_regalloc_sequential_reuse () =
+  (* Two non-overlapping acc values map to the single accumulator. *)
+  let i1 = Target.Instr.make "ZAC" ~defs:[ vreg "acc" 0 ] in
+  let i2 =
+    Target.Instr.make "SACL" ~operands:[ dir "x" ] ~defs:[ dir "x" ]
+      ~uses:[ vreg "acc" 0 ]
+  in
+  let i3 = Target.Instr.make "ZAC" ~defs:[ vreg "acc" 1 ] in
+  let i4 =
+    Target.Instr.make "SACL" ~operands:[ dir "y" ] ~defs:[ dir "y" ]
+      ~uses:[ vreg "acc" 1 ]
+  in
+  let asm = Target.Asm.make ~name:"t" [ op i1; op i2; op i3; op i4 ] in
+  let allocated = Opt.Regalloc.run Target.Tic25.machine asm in
+  Target.Asm.iter
+    (fun i ->
+      List.iter
+        (fun o ->
+          match o with
+          | Target.Instr.Vreg _ -> Alcotest.fail "vreg survived allocation"
+          | _ -> ())
+        (i.Target.Instr.defs @ i.Target.Instr.uses))
+    allocated
+
+let test_regalloc_pressure () =
+  (* Two simultaneously live accumulator values cannot fit tic25. *)
+  let i1 = Target.Instr.make "ZAC" ~defs:[ vreg "acc" 0 ] in
+  let i2 = Target.Instr.make "ZAC" ~defs:[ vreg "acc" 1 ] in
+  let i3 =
+    Target.Instr.make "USE" ~uses:[ vreg "acc" 0; vreg "acc" 1 ]
+      ~defs:[ vreg "acc" 2 ]
+  in
+  let asm = Target.Asm.make ~name:"t" [ op i1; op i2; op i3 ] in
+  match Opt.Regalloc.run Target.Tic25.machine asm with
+  | _ -> Alcotest.fail "expected pressure"
+  | exception Opt.Regalloc.Pressure _ -> ()
+
+let test_regalloc_loop_extension () =
+  (* A stream AR is initialized before the loop and read at the TOP of the
+     body; another AR is defined later in the body. Without extending the
+     stream AR's lifetime over the whole loop, the later AR could reuse its
+     register — wrong, because the stream AR is needed again on the next
+     iteration. *)
+  let stream = vreg "ar" 100 in
+  let later = vreg "ar" 101 in
+  let init =
+    Target.Instr.make "LARK" ~operands:[ stream; Target.Instr.Imm 0 ]
+      ~defs:[ stream ] ~funit:"ctl"
+  in
+  let use_stream =
+    Target.Instr.make "LAC"
+      ~operands:[ Target.Instr.Ind (stream, Target.Instr.Post_inc, None) ]
+      ~defs:[ vreg "acc" 0 ]
+      ~uses:[ Target.Instr.Ind (stream, Target.Instr.Post_inc, None) ]
+  in
+  let def_later =
+    Target.Instr.make "LARK" ~operands:[ later; Target.Instr.Imm 9 ]
+      ~defs:[ later ] ~funit:"ctl"
+  in
+  let use_later =
+    Target.Instr.make "SACL"
+      ~operands:[ Target.Instr.Ind (later, Target.Instr.No_update, None) ]
+      ~defs:[ Target.Instr.Ind (later, Target.Instr.No_update, None) ]
+      ~uses:[ vreg "acc" 0 ]
+  in
+  let asm =
+    Target.Asm.make ~name:"t"
+      [
+        op init;
+        Target.Asm.Loop
+          {
+            ivar = None;
+            count = 4;
+            body = [ op use_stream; op def_later; op use_later ];
+          };
+      ]
+  in
+  let allocated = Opt.Regalloc.run Target.Tic25.machine asm in
+  let ar_defs = ref [] in
+  Target.Asm.iter
+    (fun i ->
+      if i.Target.Instr.opcode = "LARK" then
+        List.iter
+          (fun o ->
+            match o with
+            | Target.Instr.Reg r -> ar_defs := r.Target.Instr.idx :: !ar_defs
+            | _ -> ())
+          i.Target.Instr.defs)
+    allocated;
+  match List.sort_uniq compare !ar_defs with
+  | [ _; _ ] -> ()
+  | regs ->
+    Alcotest.failf "expected 2 distinct ARs, got %d" (List.length regs)
+
+(* ---- Modeopt --------------------------------------------------------------- *)
+
+let sat_add = Target.Instr.make "ADD" ~mode_req:("ovm", 1)
+let plain_add = Target.Instr.make "ADD" ~mode_req:("ovm", 0)
+
+let test_modeopt_lazy () =
+  let items = [ op sat_add; op sat_add; op plain_add; op sat_add ] in
+  let out = Opt.Modeopt.run ~strategy:Opt.Modeopt.Lazy Target.Tic25.machine items in
+  (* SOVM, ADD, ADD, ROVM, ADD, SOVM, ADD: 3 changes. *)
+  Alcotest.(check int) "changes" 3 (Opt.Modeopt.changes_inserted out);
+  Alcotest.(check (result unit string)) "verified" (Ok ())
+    (Opt.Modeopt.verify Target.Tic25.machine out)
+
+let test_modeopt_naive () =
+  let items = [ op sat_add; op sat_add; op plain_add ] in
+  let out = Opt.Modeopt.run ~strategy:Opt.Modeopt.Naive Target.Tic25.machine items in
+  Alcotest.(check int) "one change per requiring instr" 3
+    (Opt.Modeopt.changes_inserted out);
+  Alcotest.(check (result unit string)) "verified" (Ok ())
+    (Opt.Modeopt.verify Target.Tic25.machine out)
+
+let test_modeopt_initial_state () =
+  (* The reset value of ovm is 0: plain adds need no change at all. *)
+  let items = [ op plain_add; op plain_add ] in
+  let out = Opt.Modeopt.run ~strategy:Opt.Modeopt.Lazy Target.Tic25.machine items in
+  Alcotest.(check int) "no changes" 0 (Opt.Modeopt.changes_inserted out)
+
+let test_modeopt_loop_fixpoint () =
+  (* A loop whose body needs ovm=1 throughout: one change before the loop
+     would suffice, but correctness requires the body to be verifiable from
+     an unknown entry unless the entry state is a fixpoint. Lazy achieves a
+     single change inside or before the loop, and verification passes. *)
+  let items =
+    [
+      op plain_add;
+      Target.Asm.Loop { ivar = None; count = 4; body = [ op sat_add; op sat_add ] };
+    ]
+  in
+  let out = Opt.Modeopt.run ~strategy:Opt.Modeopt.Lazy Target.Tic25.machine items in
+  Alcotest.(check (result unit string)) "verified" (Ok ())
+    (Opt.Modeopt.verify Target.Tic25.machine out);
+  Alcotest.(check bool) "at most 2 changes" true
+    (Opt.Modeopt.changes_inserted out <= 2)
+
+let test_modeopt_verify_catches () =
+  let items = [ op sat_add ] in
+  match Opt.Modeopt.verify Target.Tic25.machine items with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unsatisfied mode requirement not caught"
+
+(* ---- Peephole --------------------------------------------------------------- *)
+
+let test_peephole_forwarding () =
+  (* SACL x; LAC x -> the load disappears, its uses renamed. *)
+  let items =
+    [
+      op (Target.Instr.make "ZAC" ~defs:[ vreg "acc" 0 ]);
+      op
+        (Target.Instr.make "SACL" ~operands:[ dir "x" ] ~defs:[ dir "x" ]
+           ~uses:[ vreg "acc" 0 ]);
+      op
+        (Target.Instr.make "LAC" ~operands:[ dir "x" ] ~defs:[ vreg "acc" 1 ]
+           ~uses:[ dir "x" ]);
+      op
+        (Target.Instr.make "SACL" ~operands:[ dir "y" ] ~defs:[ dir "y" ]
+           ~uses:[ vreg "acc" 1 ]);
+    ]
+  in
+  let out = Opt.Peephole.run items in
+  Alcotest.(check (list string)) "load removed" [ "ZAC"; "SACL"; "SACL" ]
+    (opcodes out)
+
+let test_peephole_forwarding_blocked_by_redef () =
+  (* An intervening accumulator redefinition blocks forwarding. *)
+  let items =
+    [
+      op (Target.Instr.make "ZAC" ~defs:[ vreg "acc" 0 ]);
+      op
+        (Target.Instr.make "SACL" ~operands:[ dir "x" ] ~defs:[ dir "x" ]
+           ~uses:[ vreg "acc" 0 ]);
+      op (Target.Instr.make "LACK" ~operands:[ Target.Instr.Imm 5 ]
+            ~defs:[ vreg "acc" 1 ]);
+      op
+        (Target.Instr.make "SACL" ~operands:[ dir "z" ] ~defs:[ dir "z" ]
+           ~uses:[ vreg "acc" 1 ]);
+      op
+        (Target.Instr.make "LAC" ~operands:[ dir "x" ] ~defs:[ vreg "acc" 2 ]
+           ~uses:[ dir "x" ]);
+      op
+        (Target.Instr.make "SACL" ~operands:[ dir "y" ] ~defs:[ dir "y" ]
+           ~uses:[ vreg "acc" 2 ]);
+    ]
+  in
+  let out = Opt.Peephole.run items in
+  Alcotest.(check int) "nothing removed" 6 (List.length (opcodes out))
+
+let test_peephole_dead_scratch () =
+  (* A store to a never-read scratch cell dies, then its producer dies. *)
+  let items =
+    [
+      op (Target.Instr.make "ZAC" ~defs:[ vreg "acc" 0 ]);
+      op
+        (Target.Instr.make "SACL" ~operands:[ dir "$t0" ] ~defs:[ dir "$t0" ]
+           ~uses:[ vreg "acc" 0 ]);
+      op (Target.Instr.make "LACK" ~operands:[ Target.Instr.Imm 1 ]
+            ~defs:[ vreg "acc" 1 ]);
+      op
+        (Target.Instr.make "SACL" ~operands:[ dir "y" ] ~defs:[ dir "y" ]
+           ~uses:[ vreg "acc" 1 ]);
+    ]
+  in
+  let out = Opt.Peephole.run items in
+  Alcotest.(check (list string)) "dead store and producer removed"
+    [ "LACK"; "SACL" ] (opcodes out)
+
+let test_peephole_keeps_named_store () =
+  (* Stores to program variables are never dead (observable). *)
+  let items =
+    [
+      op (Target.Instr.make "ZAC" ~defs:[ vreg "acc" 0 ]);
+      op
+        (Target.Instr.make "SACL" ~operands:[ dir "result" ]
+           ~defs:[ dir "result" ] ~uses:[ vreg "acc" 0 ]);
+    ]
+  in
+  let out = Opt.Peephole.run items in
+  Alcotest.(check int) "kept" 2 (List.length (opcodes out))
+
+(* ---- Compaction -------------------------------------------------------------- *)
+
+let move_ name cls id =
+  Target.Instr.make "MOVE"
+    ~operands:[ dir name; Target.Instr.Reg { Target.Instr.cls; idx = id } ]
+    ~defs:[ Target.Instr.Reg { Target.Instr.cls; idx = id } ]
+    ~uses:[ dir name ] ~funit:"move"
+
+let test_depends () =
+  let a = move_ "x" "xy" 0 in
+  let b =
+    Target.Instr.make "ADD"
+      ~operands:
+        [ Target.Instr.Reg { Target.Instr.cls = "xy"; idx = 0 };
+          Target.Instr.Reg { Target.Instr.cls = "acc"; idx = 0 } ]
+      ~defs:[ Target.Instr.Reg { Target.Instr.cls = "acc"; idx = 0 } ]
+      ~uses:
+        [ Target.Instr.Reg { Target.Instr.cls = "xy"; idx = 0 };
+          Target.Instr.Reg { Target.Instr.cls = "acc"; idx = 0 } ]
+  in
+  let c = move_ "y" "xy" 1 in
+  Alcotest.(check bool) "raw dep" true (Opt.Compaction.depends a b);
+  Alcotest.(check bool) "independent" false (Opt.Compaction.depends a c);
+  (* Mode interactions are dependences. *)
+  let ssm = Target.Instr.make "SSM" ~mode_set:("sm", 1) ~funit:"ctl" in
+  let sat = Target.Instr.make "ADD" ~mode_req:("sm", 1) in
+  Alcotest.(check bool) "mode dep" true (Opt.Compaction.depends ssm sat)
+
+let test_compaction_packs_independent_moves () =
+  (* dsp56: an ALU op plus independent moves pack; dependent ones do not. *)
+  let m1 = move_ "x" "xy" 0 in
+  let m2 = move_ "y" "xy" 1 in
+  let alu =
+    Target.Instr.make "NEG"
+      ~operands:[ Target.Instr.Reg { Target.Instr.cls = "acc"; idx = 0 } ]
+      ~defs:[ Target.Instr.Reg { Target.Instr.cls = "acc"; idx = 0 } ]
+      ~uses:[ Target.Instr.Reg { Target.Instr.cls = "acc"; idx = 0 } ]
+  in
+  let layout =
+    Target.Layout.make ~banks:[ "x"; "y" ] [ ("x", 1, "x"); ("y", 1, "y") ]
+  in
+  let asm = Target.Asm.make ~name:"t" [ op alu; op m1; op m2 ] in
+  let packed =
+    Opt.Compaction.run
+      ~word_ok:(fun instrs ->
+        (* distinct banks for the word's memory accesses *)
+        let banks =
+          List.concat_map
+            (fun (i : Target.Instr.t) ->
+              List.filter_map
+                (function
+                  | Target.Instr.Dir r ->
+                    Some (Target.Layout.bank_of_ref layout r)
+                  | _ -> None)
+                i.operands)
+            instrs
+        in
+        List.length (List.sort_uniq compare banks) = List.length banks)
+      Target.Dsp56.machine asm
+  in
+  Alcotest.(check int) "one word" 1 (Target.Asm.words packed);
+  match packed.Target.Asm.items with
+  | [ Target.Asm.Par [ _; _; _ ] ] -> ()
+  | _ -> Alcotest.fail "expected a 3-wide parallel word"
+
+let test_compaction_respects_deps () =
+  let m1 = move_ "x" "xy" 0 in
+  let use =
+    Target.Instr.make "ADD"
+      ~operands:
+        [ Target.Instr.Reg { Target.Instr.cls = "xy"; idx = 0 };
+          Target.Instr.Reg { Target.Instr.cls = "acc"; idx = 0 } ]
+      ~defs:[ Target.Instr.Reg { Target.Instr.cls = "acc"; idx = 0 } ]
+      ~uses:
+        [ Target.Instr.Reg { Target.Instr.cls = "xy"; idx = 0 };
+          Target.Instr.Reg { Target.Instr.cls = "acc"; idx = 0 } ]
+  in
+  let asm = Target.Asm.make ~name:"t" [ op m1; op use ] in
+  let packed = Opt.Compaction.run Target.Dsp56.machine asm in
+  Alcotest.(check int) "two words" 2 (Target.Asm.words packed)
+
+let test_compaction_ctl_never_packs () =
+  let m1 = move_ "x" "xy" 0 in
+  let do_ = Target.Instr.make "DO" ~operands:[ Target.Instr.Imm 3 ] ~funit:"ctl" in
+  let asm = Target.Asm.make ~name:"t" [ op do_; op m1 ] in
+  let packed = Opt.Compaction.run Target.Dsp56.machine asm in
+  match packed.Target.Asm.items with
+  | [ Target.Asm.Op _; Target.Asm.Op _ ] -> ()
+  | _ -> Alcotest.fail "control instruction packed"
+
+let test_compaction_sequential_machine_identity () =
+  let m1 = move_ "x" "xy" 0 in
+  let asm = Target.Asm.make ~name:"t" [ op m1; op m1 ] in
+  let packed = Opt.Compaction.run Target.Tic25.machine asm in
+  Alcotest.(check int) "unchanged" 2 (Target.Asm.instr_count packed)
+
+(* ---- Membank ------------------------------------------------------------------ *)
+
+let test_membank_splits_pairs () =
+  let weights = [ (("a", "b"), 10); (("c", "d"), 5); (("a", "c"), 1) ] in
+  let bank_of =
+    Opt.Membank.assign ~banks:("x", "y") ~weights ~vars:[ "a"; "b"; "c"; "d" ]
+  in
+  Alcotest.(check bool) "a,b split" true (bank_of "a" <> bank_of "b");
+  Alcotest.(check bool) "c,d split" true (bank_of "c" <> bank_of "d");
+  let split, total = Opt.Membank.cut_value ~bank_of weights in
+  Alcotest.(check bool) "most weight split" true (split >= 15);
+  Alcotest.(check int) "total" 16 total
+
+let test_membank_pair_weights () =
+  let prog =
+    Dfl.Lower.source
+      "program t; param N = 4; input a[N], b[N]; output z; var acc;\n\
+       begin acc = 0; for i = 0 to N-1 do acc = acc + a[i] * b[i]; end; z = \
+       acc; end"
+  in
+  let weights = Opt.Membank.pair_weights prog in
+  (* The a*b pair occurs once per iteration. *)
+  Alcotest.(check bool) "a,b pair weighted by trip count" true
+    (List.exists (fun ((x, y), w) -> x = "a" && y = "b" && w = 4) weights)
+
+(* ---- Offset -------------------------------------------------------------------- *)
+
+let test_offset_cost () =
+  Alcotest.(check int) "adjacent free" 0
+    (Opt.Offset.cost ~order:[ "a"; "b"; "c" ] [ "a"; "b"; "c"; "b"; "a" ]);
+  Alcotest.(check int) "jumps cost" 2
+    (Opt.Offset.cost ~order:[ "a"; "b"; "c" ] [ "a"; "c"; "a"; "b" ])
+
+let test_offset_liao_example () =
+  let accesses = [ "a"; "b"; "c"; "d"; "a"; "c"; "b"; "a"; "d"; "a"; "c"; "d" ] in
+  let r = Opt.Offset.solve ~vars:[ "a"; "b"; "c"; "d" ] accesses in
+  Alcotest.(check bool) "improves on declaration order" true
+    (r.Opt.Offset.soa_cost < r.Opt.Offset.declared_cost);
+  Alcotest.(check int) "all variables placed" 4 (List.length r.Opt.Offset.order)
+
+let test_offset_no_accesses () =
+  let r = Opt.Offset.solve ~vars:[ "a"; "b" ] [] in
+  Alcotest.(check int) "cost 0" 0 (Opt.Offset.cost ~order:r.Opt.Offset.order []);
+  Alcotest.(check int) "vars kept" 2 (List.length r.Opt.Offset.order)
+
+let prop_offset_never_worse =
+  QCheck.Test.make ~name:"SOA order is never worse than declaration order"
+    ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 30) (oneofl [ "a"; "b"; "c"; "d"; "e"; "f" ]))
+    (fun accesses ->
+      let vars = [ "a"; "b"; "c"; "d"; "e"; "f" ] in
+      let r = Opt.Offset.solve ~vars accesses in
+      r.Opt.Offset.soa_cost <= r.Opt.Offset.declared_cost
+      && List.sort compare r.Opt.Offset.order = List.sort compare vars)
+
+let suites =
+  [
+    ( "opt.agu",
+      [
+        Alcotest.test_case "streams get ARs" `Quick test_agu_streams;
+        Alcotest.test_case "shared stream increments once" `Quick
+          test_agu_shared_stream_single_increment;
+        Alcotest.test_case "descending streams" `Quick test_agu_descending;
+        Alcotest.test_case "AGU exhaustion" `Quick test_agu_too_many_streams;
+      ] );
+    ( "opt.regalloc",
+      [
+        Alcotest.test_case "sequential reuse" `Quick test_regalloc_sequential_reuse;
+        Alcotest.test_case "pressure detection" `Quick test_regalloc_pressure;
+        Alcotest.test_case "loop lifetime extension" `Quick
+          test_regalloc_loop_extension;
+      ] );
+    ( "opt.modeopt",
+      [
+        Alcotest.test_case "lazy strategy" `Quick test_modeopt_lazy;
+        Alcotest.test_case "naive strategy" `Quick test_modeopt_naive;
+        Alcotest.test_case "reset state known" `Quick test_modeopt_initial_state;
+        Alcotest.test_case "loop fixpoint" `Quick test_modeopt_loop_fixpoint;
+        Alcotest.test_case "verify catches violations" `Quick
+          test_modeopt_verify_catches;
+      ] );
+    ( "opt.peephole",
+      [
+        Alcotest.test_case "store/load forwarding" `Quick test_peephole_forwarding;
+        Alcotest.test_case "forwarding blocked by redefinition" `Quick
+          test_peephole_forwarding_blocked_by_redef;
+        Alcotest.test_case "dead scratch elimination" `Quick
+          test_peephole_dead_scratch;
+        Alcotest.test_case "named stores survive" `Quick
+          test_peephole_keeps_named_store;
+      ] );
+    ( "opt.compaction",
+      [
+        Alcotest.test_case "dependence relation" `Quick test_depends;
+        Alcotest.test_case "packs independent moves" `Quick
+          test_compaction_packs_independent_moves;
+        Alcotest.test_case "respects dependences" `Quick
+          test_compaction_respects_deps;
+        Alcotest.test_case "control never packs" `Quick
+          test_compaction_ctl_never_packs;
+        Alcotest.test_case "sequential machine unchanged" `Quick
+          test_compaction_sequential_machine_identity;
+      ] );
+    ( "opt.membank",
+      [
+        Alcotest.test_case "max-cut splits hot pairs" `Quick
+          test_membank_splits_pairs;
+        Alcotest.test_case "pair weights from programs" `Quick
+          test_membank_pair_weights;
+      ] );
+    ( "opt.offset",
+      [
+        Alcotest.test_case "cost function" `Quick test_offset_cost;
+        Alcotest.test_case "liao example" `Quick test_offset_liao_example;
+        Alcotest.test_case "empty sequence" `Quick test_offset_no_accesses;
+        QCheck_alcotest.to_alcotest prop_offset_never_worse;
+      ] );
+  ]
+
+(* ---- Spilling ----------------------------------------------------------------- *)
+
+let test_regalloc_spills_under_pressure () =
+  (* Five simultaneously-live xy values on dsp56 (4 registers): without a
+     ctx this is fatal; with one, the allocator spills and succeeds. *)
+  let mk_load k =
+    Target.Instr.make "MOVE"
+      ~operands:[ dir (Printf.sprintf "x%d" k); vreg "xy" k ]
+      ~defs:[ vreg "xy" k ]
+      ~uses:[ dir (Printf.sprintf "x%d" k) ]
+      ~funit:"move"
+  in
+  let consumer =
+    Target.Instr.make "USEALL"
+      ~uses:(List.init 5 (fun k -> vreg "xy" k))
+      ~defs:[ vreg "acc" 9 ]
+  in
+  let items = List.init 5 (fun k -> op (mk_load k)) @ [ op consumer ] in
+  let asm = Target.Asm.make ~name:"t" items in
+  (match Opt.Regalloc.run Target.Dsp56.machine asm with
+  | _ -> Alcotest.fail "expected pressure without a context"
+  | exception Opt.Regalloc.Pressure _ -> ());
+  let ctx = Target.Machine.create_ctx () in
+  let spilled = Opt.Regalloc.run ~ctx Target.Dsp56.machine asm in
+  Alcotest.(check bool) "spill code inserted" true
+    (Opt.Regalloc.spills_inserted ~before:asm ~after:spilled >= 2);
+  (* No virtual registers survive. *)
+  Target.Asm.iter
+    (fun i ->
+      List.iter
+        (fun o ->
+          if Target.Instr.vregs_of_operand o <> [] then
+            Alcotest.fail "vreg survived")
+        (i.Target.Instr.defs @ i.Target.Instr.uses @ i.Target.Instr.operands))
+    spilled
+
+let test_regalloc_spill_not_loop_crossing () =
+  (* A value live across a loop must not be chosen as a spill victim
+     (reloading inside the body would read a stale cell): with no other
+     candidate, allocation fails loudly instead of miscompiling. *)
+  let mk k uses =
+    Target.Instr.make "MOVE"
+      ~operands:[ dir (Printf.sprintf "c%d" k); vreg "xy" k ]
+      ~defs:[ vreg "xy" k ] ~uses ~funit:"move"
+  in
+  let defs = List.init 5 (fun k -> op (mk k [])) in
+  let inside =
+    Target.Asm.Loop
+      {
+        ivar = None;
+        count = 2;
+        body =
+          [
+            op
+              (Target.Instr.make "USEALL"
+                 ~uses:(List.init 5 (fun k -> vreg "xy" k))
+                 ~defs:[ vreg "acc" 9 ]);
+          ];
+      }
+  in
+  let asm = Target.Asm.make ~name:"t" (defs @ [ inside ]) in
+  let ctx = Target.Machine.create_ctx () in
+  match Opt.Regalloc.run ~ctx Target.Dsp56.machine asm with
+  | _ -> Alcotest.fail "expected pressure (no safe victim)"
+  | exception Opt.Regalloc.Pressure _ -> ()
+
+let spill_suites =
+  [
+    ( "opt.spill",
+      [
+        Alcotest.test_case "spills under pressure" `Quick
+          test_regalloc_spills_under_pressure;
+        Alcotest.test_case "loop-crossing values are not victims" `Quick
+          test_regalloc_spill_not_loop_crossing;
+      ] );
+  ]
+
+let suites = suites @ spill_suites

@@ -1,0 +1,91 @@
+(* Tests for self-test program generation (§4.5). *)
+
+let test_all_cases_pass () =
+  List.iter
+    (fun net ->
+      let suite = Selftest.generate net in
+      List.iter
+        (fun (name, ok) ->
+          if not ok then
+            Alcotest.failf "%s: case %s fails on fault-free hardware"
+              net.Rtl.Netlist.name name)
+        (Selftest.run suite))
+    [ Rtl.Samples.acc16; Rtl.Samples.acc16_dualreg ]
+
+let test_everything_testable () =
+  List.iter
+    (fun net ->
+      let suite = Selftest.generate net in
+      Alcotest.(check (list string))
+        (net.Rtl.Netlist.name ^ " untestable") [] suite.Selftest.untestable;
+      Alcotest.(check int)
+        (net.Rtl.Netlist.name ^ " one case per transfer")
+        (List.length (Ise.Extract.run net))
+        (List.length suite.Selftest.cases))
+    [ Rtl.Samples.acc16; Rtl.Samples.acc16_dualreg ]
+
+let test_fault_detected () =
+  (* A stuck ALU output must make at least one case fail. *)
+  let suite = Selftest.generate Rtl.Samples.acc16 in
+  let stuck = ({ Rtl.Netlist.comp = "alu"; port = "f" }, 0) in
+  let detected =
+    List.exists
+      (fun case -> not (Selftest.run_case ~force:[ stuck ] suite case))
+      suite.Selftest.cases
+  in
+  Alcotest.(check bool) "alu stuck-at-0 detected" true detected
+
+let test_full_coverage () =
+  List.iter
+    (fun net ->
+      let suite = Selftest.generate net in
+      let cov = Selftest.fault_coverage suite in
+      Alcotest.(check int)
+        (net.Rtl.Netlist.name ^ " coverage")
+        cov.Selftest.faults cov.Selftest.detected;
+      Alcotest.(check (list (pair string int)))
+        (net.Rtl.Netlist.name ^ " escapes") [] cov.Selftest.escaped)
+    [ Rtl.Samples.acc16; Rtl.Samples.acc16_dualreg ]
+
+let test_expected_values_sensible () =
+  (* The generator's expectations match an independent evaluation of the
+     transfer semantics for a known case: acc := acc + ram[addr]. *)
+  let suite = Selftest.generate Rtl.Samples.acc16 in
+  let case =
+    List.find
+      (fun (c : Selftest.case) ->
+        c.transfer.Ise.Transfer.name = "acc_acc_add_mem")
+      suite.Selftest.cases
+  in
+  (* Justified register value 21 plus the next pattern value 13. *)
+  Alcotest.(check int) "expected" 34 case.Selftest.expected
+
+let test_distinct_values_distinguish_ops () =
+  (* add and sub cases must expect different observations, or a swapped ALU
+     function table would escape. *)
+  let suite = Selftest.generate Rtl.Samples.acc16 in
+  let expect name =
+    (List.find
+       (fun (c : Selftest.case) -> c.transfer.Ise.Transfer.name = name)
+       suite.Selftest.cases)
+      .Selftest.expected
+  in
+  Alcotest.(check bool) "add <> sub" true
+    (expect "acc_acc_add_mem" <> expect "acc_acc_sub_mem");
+  Alcotest.(check bool) "and <> or" true
+    (expect "acc_acc_and_mem" <> expect "acc_acc_or_mem")
+
+let suites =
+  [
+    ( "selftest",
+      [
+        Alcotest.test_case "fault-free hardware passes" `Quick test_all_cases_pass;
+        Alcotest.test_case "every transfer testable" `Quick
+          test_everything_testable;
+        Alcotest.test_case "injected fault detected" `Quick test_fault_detected;
+        Alcotest.test_case "full stuck-at coverage" `Quick test_full_coverage;
+        Alcotest.test_case "expected values" `Quick test_expected_values_sensible;
+        Alcotest.test_case "operations distinguishable" `Quick
+          test_distinct_values_distinguish_ops;
+      ] );
+  ]

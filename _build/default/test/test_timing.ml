@@ -1,0 +1,112 @@
+(* Static timing analysis (§3.2 requirement 4) and the DFL unparser. *)
+
+let test_static_equals_simulated () =
+  (* On every machine x kernel combination that compiles, the static cycle
+     count is exactly the simulator's. *)
+  let machines =
+    [ Target.Tic25.machine; Target.Dsp56.machine; Target.Risc32.machine ]
+  in
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun (k : Dspstone.Kernels.t) ->
+          let prog = Dspstone.Kernels.prog k in
+          match Record.Pipeline.compile machine prog with
+          | exception Record.Pipeline.Error _ ->
+            () (* AGU too small for this kernel on this machine *)
+          | c ->
+            let _, simulated =
+              Record.Pipeline.execute c ~inputs:k.Dspstone.Kernels.inputs
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "%s/%s" machine.Target.Machine.name k.name)
+              simulated (Record.Timing.cycles c))
+        (Dspstone.Kernels.all @ Dspstone.Kernels.extended))
+    machines
+
+let test_per_loop_breakdown () =
+  let k = Dspstone.Kernels.find "dot_product" in
+  let c = Record.Pipeline.compile Target.Tic25.machine (Dspstone.Kernels.prog k) in
+  let report = Record.Timing.analyze c in
+  match report.Record.Timing.per_loop with
+  | [ (16, body, total) ] ->
+    Alcotest.(check int) "loop total" (16 * body) total;
+    Alcotest.(check bool) "loop dominates" true
+      (total > report.Record.Timing.cycles / 2)
+  | l -> Alcotest.failf "expected one loop, got %d" (List.length l)
+
+let test_deadline () =
+  let k = Dspstone.Kernels.find "real_update" in
+  let c = Record.Pipeline.compile Target.Tic25.machine (Dspstone.Kernels.prog k) in
+  Alcotest.(check bool) "meets generous deadline" true
+    (Record.Timing.meets_deadline c ~deadline:100);
+  Alcotest.(check bool) "misses tight deadline" false
+    (Record.Timing.meets_deadline c ~deadline:1)
+
+(* ---- Unparser -------------------------------------------------------------- *)
+
+let test_unparse_roundtrip_kernels () =
+  (* Print every kernel back to DFL, re-lower, and compare semantics. *)
+  List.iter
+    (fun (k : Dspstone.Kernels.t) ->
+      let prog = Dspstone.Kernels.prog k in
+      let reparsed = Dfl.Lower.source (Dfl.Unparse.program prog) in
+      let a = Ir.Eval.run_with_inputs prog k.inputs in
+      let b = Ir.Eval.run_with_inputs reparsed k.inputs in
+      Alcotest.(check bool) (k.name ^ " round-trips") true (a = b))
+    (Dspstone.Kernels.all @ Dspstone.Kernels.extended)
+
+let test_unparse_negative_and_descending () =
+  let prog =
+    Ir.Prog.make ~name:"neg"
+      ~decls:
+        [
+          Ir.Prog.array_decl ~storage:Ir.Prog.Input "x" 4;
+          Ir.Prog.scalar_decl ~storage:Ir.Prog.Output "y";
+        ]
+      [
+        Ir.Prog.assign (Ir.Mref.scalar "y") (Ir.Tree.const (-7));
+        Ir.Prog.loop "i" 4
+          [
+            Ir.Prog.assign (Ir.Mref.scalar "y")
+              Ir.Tree.(
+                var "y"
+                + ref_ (Ir.Mref.induct ~offset:3 ~step:(-1) "x" ~ivar:"i"));
+          ];
+      ]
+  in
+  let reparsed = Dfl.Lower.source (Dfl.Unparse.program prog) in
+  let inputs = [ ("x", [| 1; 2; 3; 4 |]) ] in
+  Alcotest.(check bool) "semantics preserved" true
+    (Ir.Eval.run_with_inputs prog inputs
+    = Ir.Eval.run_with_inputs reparsed inputs)
+
+let test_unparse_rejects_internal_names () =
+  let prog =
+    { Ir.Prog.name = "t";
+      decls = [ Ir.Prog.scalar_decl "$e0" ];
+      body = [] }
+  in
+  match Dfl.Unparse.program prog with
+  | _ -> Alcotest.fail "internal name accepted"
+  | exception Dfl.Unparse.Not_printable _ -> ()
+
+let suites =
+  [
+    ( "timing",
+      [
+        Alcotest.test_case "static == simulated everywhere" `Quick
+          test_static_equals_simulated;
+        Alcotest.test_case "per-loop breakdown" `Quick test_per_loop_breakdown;
+        Alcotest.test_case "deadline check" `Quick test_deadline;
+      ] );
+    ( "dfl.unparse",
+      [
+        Alcotest.test_case "kernels round-trip" `Quick
+          test_unparse_roundtrip_kernels;
+        Alcotest.test_case "negatives and descending streams" `Quick
+          test_unparse_negative_and_descending;
+        Alcotest.test_case "internal names rejected" `Quick
+          test_unparse_rejects_internal_names;
+      ] );
+  ]
