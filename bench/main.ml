@@ -501,6 +501,10 @@ let timing () =
   Format.printf "@."
 
 let () =
+  (* --smoke: the assertion-bearing sections only (compile/validate every
+     kernel, check static timing, classify the cube), skipping the sweeps
+     and the Bechamel wall-clock measurements; quick enough for CI. *)
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   Format.printf
     "RECORD reproduction benchmarks (Marwedel, 'Code Generation for Core \
      Processors', DAC 1997)@.";
@@ -509,14 +513,16 @@ let () =
   extended_kernels ();
   static_timing ();
   fig1 ();
-  fig2_fig3 ();
-  fig45 ();
-  ablation_selection ();
-  ablation_unroll ();
-  ablation_modes ();
-  ablation_compaction ();
-  ablation_offset ();
-  asip_sweep ();
-  n_sweep ();
-  selftest_report ();
-  timing ()
+  if not smoke then begin
+    fig2_fig3 ();
+    fig45 ();
+    ablation_selection ();
+    ablation_unroll ();
+    ablation_modes ();
+    ablation_compaction ();
+    ablation_offset ();
+    asip_sweep ();
+    n_sweep ();
+    selftest_report ();
+    timing ()
+  end

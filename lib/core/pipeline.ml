@@ -390,11 +390,9 @@ let compile ?(options = Options.record_) machine (prog : Ir.Prog.t) =
     try Opt.Regalloc.run ~ctx machine asm with
     | Opt.Regalloc.Pressure msg -> raise (Error ("register pressure: " ^ msg))
   in
+  let asm, scratch_decls = Opt.Scratchpack.run asm in
   let pool = Target.Machine.const_cells ctx in
-  let extra =
-    Target.Machine.scratch_decls ctx
-    @ List.map (fun (name, _) -> (name, 1)) pool
-  in
+  let extra = scratch_decls @ List.map (fun (name, _) -> (name, 1)) pool in
   let layout =
     let banks = machine.Target.Machine.banks in
     match (options.membank, banks) with

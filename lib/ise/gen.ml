@@ -318,6 +318,31 @@ let of_transfers ~name ~description ~registers ?counter ?agu_limit transfers =
         }
     | _ -> None
   in
+  (* Register allocation can relieve pressure on [store_reg] by round-tripping
+     through a scratch word with the same store/load transfers. *)
+  let spills =
+    [
+      ( store_reg,
+        {
+          Target.Machine.spill_store =
+            (fun v m ->
+              Target.Instr.make store_transfer.Transfer.name
+                ~operands:[ Target.Instr.Dir m ]
+                ~defs:[ Target.Instr.Dir m ]
+                ~uses:[ Target.Instr.Vreg v ]
+                ~words:store_transfer.Transfer.words
+                ~cycles:store_transfer.Transfer.cycles ~funit:"move");
+          spill_load =
+            (fun m v ->
+              Target.Instr.make load_transfer.Transfer.name
+                ~operands:[ Target.Instr.Dir m ]
+                ~defs:[ Target.Instr.Vreg v ]
+                ~uses:[ Target.Instr.Dir m ]
+                ~words:load_transfer.Transfer.words
+                ~cycles:load_transfer.Transfer.cycles ~funit:"move");
+        } );
+    ]
+  in
   {
     Target.Machine.name;
     description;
@@ -350,7 +375,7 @@ let of_transfers ~name ~description ~registers ?counter ?agu_limit transfers =
     loop_;
     agu;
     naive_agu = None;
-    spills = [];
+    spills;
     exec;
     classification =
       {

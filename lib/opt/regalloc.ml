@@ -245,7 +245,10 @@ let run ?ctx machine (asm : Target.Asm.t) =
           attempt (insert_spill ctx ops items victim.vreg scratch) (fuel - 1))
       | Some _ -> fail ())
   in
-  attempt asm.Target.Asm.items 16
+  (* Each round inserts one spill, so allow one round per instruction (with
+     some headroom for tiny programs); the bound only guards against a
+     non-converging rewrite loop. *)
+  attempt asm.Target.Asm.items (16 + Target.Asm.instr_count asm)
 
 let spills_inserted ~before ~after =
   Target.Asm.instr_count after - Target.Asm.instr_count before

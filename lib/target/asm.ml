@@ -1,0 +1,72 @@
+(* Structured assembly: straight-line instructions, compacted parallel
+   words, and counted hardware loops.  Keeping loops structural (instead of
+   branches and labels) is what lets the timing analysis be exact. *)
+
+type item =
+  | Op of Instr.t
+  | Par of Instr.t list  (** one instruction word, parallel slots *)
+  | Loop of loop
+
+and loop = { ivar : string option; count : int; body : item list }
+
+type t = { name : string; items : item list }
+
+let make ~name items = { name; items }
+
+let rec item_words = function
+  | Op i -> i.Instr.words
+  | Par _ -> 1
+  | Loop l -> List.fold_left (fun acc it -> acc + item_words it) 0 l.body
+
+let words t = List.fold_left (fun acc it -> acc + item_words it) 0 t.items
+
+let rec item_instr_count = function
+  | Op _ -> 1
+  | Par is -> List.length is
+  | Loop l ->
+    List.fold_left (fun acc it -> acc + item_instr_count it) 0 l.body
+
+let instr_count t =
+  List.fold_left (fun acc it -> acc + item_instr_count it) 0 t.items
+
+(* Every instruction with its per-run execution count (loop bodies count
+   once per iteration). *)
+let flatten_counts t =
+  let acc = ref [] in
+  let rec go mult = function
+    | Op i -> acc := (i, mult) :: !acc
+    | Par is -> List.iter (fun i -> acc := (i, mult) :: !acc) is
+    | Loop l -> List.iter (go (mult * l.count)) l.body
+  in
+  List.iter (go 1) t.items;
+  List.rev !acc
+
+let iter f t =
+  let rec go = function
+    | Op i -> f i
+    | Par is -> List.iter f is
+    | Loop l -> List.iter go l.body
+  in
+  List.iter go t.items
+
+let map f t =
+  let rec go = function
+    | Op i -> Op (f i)
+    | Par is -> Par (List.map f is)
+    | Loop l -> Loop { l with body = List.map go l.body }
+  in
+  { t with items = List.map go t.items }
+
+let pp ppf t =
+  let rec go indent = function
+    | Op i -> Format.fprintf ppf "%s%s@." indent (Instr.to_string i)
+    | Par is ->
+      Format.fprintf ppf "%s%s@." indent
+        (String.concat "  ||  " (List.map Instr.to_string is))
+    | Loop l ->
+      Format.fprintf ppf "%s; loop x%d@." indent l.count;
+      List.iter (go (indent ^ "  ")) l.body;
+      Format.fprintf ppf "%s; end loop@." indent
+  in
+  Format.fprintf ppf "; %s@." t.name;
+  List.iter (go "") t.items

@@ -1,0 +1,36 @@
+(* The paper's "processor cube" (Fig. 1): targets classified along three
+   axes — packaged part vs. licensable core, general-purpose vs. DSP, and
+   fixed architecture vs. application-specific instruction processor. *)
+
+type availability = Package | Core
+type domain = General_purpose | Dsp
+type application = Fixed_architecture | Asip
+
+type t = {
+  availability : availability;
+  domain : domain;
+  application : application;
+}
+
+let corner_name t =
+  match (t.availability, t.domain, t.application) with
+  | Package, General_purpose, Fixed_architecture -> "off-the-shelf processor"
+  | Package, General_purpose, Asip -> "configurable processor"
+  | Package, Dsp, Fixed_architecture -> "off-the-shelf DSP"
+  | Package, Dsp, Asip -> "configurable DSP"
+  | Core, General_purpose, Fixed_architecture -> "processor core"
+  | Core, General_purpose, Asip -> "ASIP core"
+  | Core, Dsp, Fixed_architecture -> "DSP core"
+  | Core, Dsp, Asip -> "ASSP core"
+
+let pp ppf t =
+  let a = match t.availability with Package -> "package" | Core -> "core" in
+  let d =
+    match t.domain with General_purpose -> "general-purpose" | Dsp -> "DSP"
+  in
+  let p =
+    match t.application with
+    | Fixed_architecture -> "fixed architecture"
+    | Asip -> "ASIP"
+  in
+  Format.fprintf ppf "%s (%s / %s / %s)" (corner_name t) a d p

@@ -1,0 +1,85 @@
+(* Banked memory layout: variables are placed bank-major (all variables of
+   the first bank first, in declaration order), and every memory reference
+   resolves to a concrete address given the induction-variable environment. *)
+
+type entry = { name : string; addr : int; size : int; bank : string }
+type t = { banks : string list; entries : entry list; total : int }
+
+let make ~banks decls =
+  List.iter
+    (fun (name, _, bank) ->
+      if not (List.mem bank banks) then
+        invalid_arg
+          (Printf.sprintf "Layout.make: %s placed in unknown bank %s" name bank))
+    decls;
+  let addr = ref 0 in
+  let entries =
+    List.concat_map
+      (fun b ->
+        List.filter_map
+          (fun (name, size, bank) ->
+            if bank <> b then None
+            else begin
+              let e = { name; addr = !addr; size; bank } in
+              addr := !addr + size;
+              Some e
+            end)
+          decls)
+      banks
+  in
+  { banks; entries; total = !addr }
+
+let find t name =
+  List.find (fun e -> e.name = name) t.entries
+
+let total_size t = t.total
+
+let bank_of_ref t (r : Ir.Mref.t) = (find t r.base).bank
+
+let address t (r : Ir.Mref.t) ~ienv =
+  let e = find t r.base in
+  let off =
+    match r.index with
+    | Ir.Mref.Direct -> 0
+    | Ir.Mref.Elem k -> k
+    | Ir.Mref.Induct { ivar; offset; step } ->
+      offset + (step * List.assoc ivar ienv)
+  in
+  if off < 0 || off >= e.size then
+    invalid_arg
+      (Printf.sprintf "Layout.address: %s[%d] index %d out of bounds" r.base
+         off off);
+  e.addr + off
+
+(* The address of the first element a stream touches: the offset with the
+   induction variable at zero.  Used to initialize address registers. *)
+let base_address t (r : Ir.Mref.t) =
+  let e = find t r.base in
+  match r.index with
+  | Ir.Mref.Direct -> e.addr
+  | Ir.Mref.Elem k -> e.addr + k
+  | Ir.Mref.Induct { offset; _ } -> e.addr + offset
+
+(* Place a program's declarations (plus compiler-introduced scratch and
+   constant-pool cells) into banks.  [bank_of] assigns a bank per variable;
+   without it everything lands in the first bank. *)
+let of_prog ?bank_of ~banks (prog : Ir.Prog.t) ~extra =
+  let default = match banks with b :: _ -> b | [] -> "data" in
+  let assign name =
+    match bank_of with Some f -> f name | None -> default
+  in
+  let decls =
+    List.map
+      (fun (d : Ir.Prog.decl) -> (d.name, d.size, assign d.name))
+      prog.Ir.Prog.decls
+    @ List.map (fun (name, size) -> (name, size, assign name)) extra
+  in
+  make ~banks decls
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%04d  %-12s %d word%s  (%s)@." e.addr e.name e.size
+        (if e.size = 1 then "" else "s")
+        e.bank)
+    t.entries

@@ -1,0 +1,92 @@
+(* Architectural state for the instruction-level simulator: data memory,
+   register classes, machine modes, and a cycle counter.  Memory cells wrap
+   to the machine word width on store; registers hold exact values (real
+   accumulators are wider than a memory word, and the evaluation contract
+   keeps intermediates in range anyway). *)
+
+type t = {
+  width : int;
+  layout : Layout.t;
+  mem : int array;
+  regs : (Instr.reg, int) Hashtbl.t;
+  modes : (string, int) Hashtbl.t;
+  mutable cycles : int;
+}
+
+let create ?(width = 16) ~layout ~modes () =
+  let t =
+    {
+      width;
+      layout;
+      mem = Array.make (max 1 (Layout.total_size layout)) 0;
+      regs = Hashtbl.create 17;
+      modes = Hashtbl.create 7;
+      cycles = 0;
+    }
+  in
+  List.iter (fun (m, v) -> Hashtbl.replace t.modes m v) modes;
+  t
+
+let wrap width v =
+  let m = 1 lsl width in
+  let v = v land (m - 1) in
+  if v >= m lsr 1 then v - m else v
+
+let store t addr v = t.mem.(addr) <- wrap t.width v
+let load t addr = t.mem.(addr)
+
+let get_reg t r = match Hashtbl.find_opt t.regs r with Some v -> v | None -> 0
+let set_reg t r v = Hashtbl.replace t.regs r v
+
+let get_mode t m =
+  match Hashtbl.find_opt t.modes m with
+  | Some v -> v
+  | None -> invalid_arg ("Mstate: unknown mode " ^ m)
+
+let set_mode t m v = Hashtbl.replace t.modes m v
+
+let get_var t name =
+  let e = Layout.find t.layout name in
+  Array.sub t.mem e.Layout.addr e.Layout.size
+
+let set_var t name values =
+  let e = Layout.find t.layout name in
+  Array.blit values 0 t.mem e.Layout.addr (Array.length values)
+
+let add_cycles t n = t.cycles <- t.cycles + n
+let cycles t = t.cycles
+
+let vreg_error () =
+  invalid_arg "Mstate: virtual register reached the simulator"
+
+let post_update t inner u =
+  match (inner, u) with
+  | _, Instr.No_update -> ()
+  | Instr.Reg r, Instr.Post_inc -> set_reg t r (get_reg t r + 1)
+  | Instr.Reg r, Instr.Post_dec -> set_reg t r (get_reg t r - 1)
+  | _ -> vreg_error ()
+
+let rec read_operand t (o : Instr.operand) =
+  match o with
+  | Instr.Reg r -> get_reg t r
+  | Instr.Imm k -> k
+  | Instr.Dir r -> load t (Layout.address t.layout r ~ienv:[])
+  | Instr.Adr r -> Layout.base_address t.layout r
+  | Instr.Ind (inner, u, _) ->
+    let addr = read_operand t inner in
+    let v = load t addr in
+    post_update t inner u;
+    v
+  | Instr.Vreg _ -> vreg_error ()
+
+let write_operand t (o : Instr.operand) v =
+  match o with
+  | Instr.Reg r -> set_reg t r v
+  | Instr.Dir r -> store t (Layout.address t.layout r ~ienv:[]) v
+  | Instr.Ind (inner, u, _) ->
+    let addr = read_operand t inner in
+    store t addr v;
+    post_update t inner u
+  | Instr.Vreg _ -> vreg_error ()
+  | Instr.Imm _ | Instr.Adr _ ->
+    invalid_arg "Mstate: cannot write to an immediate operand"

@@ -1,0 +1,28 @@
+(* Heterogeneous register files: named classes with a fixed number of
+   registers each.  DSP register files are special-purpose (accumulator,
+   product register, address registers), so the allocator works per class. *)
+
+type cls = { cls_name : string; count : int; role : string }
+type t = { classes : cls list }
+
+let make classes =
+  let seen = Hashtbl.create 7 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.cls_name then
+        invalid_arg ("Regfile.make: duplicate class " ^ c.cls_name);
+      if c.count < 1 then
+        invalid_arg ("Regfile.make: empty class " ^ c.cls_name);
+      Hashtbl.add seen c.cls_name ())
+    classes;
+  { classes }
+
+let find t name = List.find (fun c -> c.cls_name = name) t.classes
+let mem t name = List.exists (fun c -> c.cls_name = name) t.classes
+let total t = List.fold_left (fun acc c -> acc + c.count) 0 t.classes
+
+let pp ppf t =
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-6s x%-3d %s@." c.cls_name c.count c.role)
+    t.classes

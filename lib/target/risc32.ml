@@ -1,0 +1,297 @@
+(* Conventional 32-register load/store RISC — the Table-1 baseline of an
+   off-the-shelf general-purpose processor.  Three-address ALU operations
+   over one homogeneous class, software loop control, no AGU, no hardware
+   saturation.  Word width stays 16 so programs behave identically across
+   the bundled machines. *)
+
+let nt n = Burg.Pattern.Nonterm n
+let binop op a b = Burg.Pattern.Binop (op, a, b)
+let unop op a = Burg.Pattern.Unop (op, a)
+let rule = Burg.Rule.make
+
+let shift_amount = function
+  | Ir.Tree.Binop (_, _, Ir.Tree.Const k) -> Some k
+  | _ -> None
+
+let shift_ok t =
+  match shift_amount t with Some k -> k >= 0 && k <= 15 | None -> false
+
+let imm12 = function
+  | Ir.Tree.Binop (_, _, Ir.Tree.Const k) -> k >= -2047 && k <= 2047
+  | _ -> false
+
+let rules =
+  [
+    rule ~name:"mem_ref" ~lhs:"mem" ~cost:0 Burg.Pattern.Ref_any;
+    rule ~name:"mem_const" ~lhs:"mem" ~cost:1 Burg.Pattern.Const_any;
+    rule ~name:"lw" ~lhs:"g" ~cost:1 (nt "mem");
+    rule ~name:"li" ~lhs:"g" ~cost:1 Burg.Pattern.Const_any;
+    rule ~name:"addi" ~lhs:"g" ~cost:1 ~guard:imm12
+      (binop Ir.Op.Add (nt "g") Burg.Pattern.Const_any);
+    rule ~name:"add" ~lhs:"g" ~cost:1 (binop Ir.Op.Add (nt "g") (nt "g"));
+    rule ~name:"sub" ~lhs:"g" ~cost:1 (binop Ir.Op.Sub (nt "g") (nt "g"));
+    rule ~name:"mul" ~lhs:"g" ~cost:1 (binop Ir.Op.Mul (nt "g") (nt "g"));
+    rule ~name:"and" ~lhs:"g" ~cost:1 (binop Ir.Op.And (nt "g") (nt "g"));
+    rule ~name:"or" ~lhs:"g" ~cost:1 (binop Ir.Op.Or (nt "g") (nt "g"));
+    rule ~name:"xor" ~lhs:"g" ~cost:1 (binop Ir.Op.Xor (nt "g") (nt "g"));
+    rule ~name:"slli" ~lhs:"g" ~cost:1 ~guard:shift_ok
+      (binop Ir.Op.Shl (nt "g") Burg.Pattern.Const_any);
+    rule ~name:"srai" ~lhs:"g" ~cost:1 ~guard:shift_ok
+      (binop Ir.Op.Shr (nt "g") Burg.Pattern.Const_any);
+    rule ~name:"neg" ~lhs:"g" ~cost:1 (unop Ir.Op.Neg (nt "g"));
+    rule ~name:"not" ~lhs:"g" ~cost:1 (unop Ir.Op.Not (nt "g"));
+    (* saturation emulated by a compare-and-clamp sequence *)
+    rule ~name:"ssat" ~lhs:"g" ~cost:3 (unop Ir.Op.Sat (nt "g"));
+    rule ~name:"spill_sw" ~lhs:"mem" ~cost:1 (nt "g");
+  ]
+
+let grammar = Burg.Grammar.make ~name:"risc32" ~start:"g" rules
+
+let bad name = invalid_arg ("risc32: bad children for " ^ name)
+
+let load ctx m =
+  let v = Machine.fresh_vreg ctx "g" in
+  Machine.emit ctx
+    (Instr.make "LW"
+       ~operands:[ Instr.Dir m ]
+       ~defs:[ Instr.Vreg v ] ~uses:[ Instr.Dir m ] ~funit:"move");
+  v
+
+let store_from ctx dst v =
+  Machine.emit ctx
+    (Instr.make "SW"
+       ~operands:[ Instr.Dir dst ]
+       ~defs:[ Instr.Dir dst ] ~uses:[ Instr.Vreg v ] ~funit:"move")
+
+let load_imm ctx k =
+  let v = Machine.fresh_vreg ctx "g" in
+  Machine.emit ctx
+    (Instr.make "LI" ~operands:[ Instr.Imm k ] ~defs:[ Instr.Vreg v ]
+       ~funit:"move");
+  v
+
+let alu ?(words = 1) ?cycles ctx opcode ~operands uses =
+  let d = Machine.fresh_vreg ctx "g" in
+  Machine.emit ctx
+    (Instr.make opcode ~operands ~defs:[ Instr.Vreg d ] ~words ?cycles
+       ~uses:(List.map (fun v -> Instr.Vreg v) uses));
+  Machine.Vreg d
+
+let binary opcode : Machine.emitter =
+ fun ctx _node children ->
+  match children with
+  | [ Machine.Vreg a; Machine.Vreg b ] -> alu ctx opcode ~operands:[] [ a; b ]
+  | _ -> bad opcode
+
+let binary_imm opcode : Machine.emitter =
+ fun ctx node children ->
+  match (children, node) with
+  | [ Machine.Vreg a ], Ir.Tree.Binop (_, _, Ir.Tree.Const k) ->
+    alu ctx opcode ~operands:[ Instr.Imm k ] [ a ]
+  | _ -> bad opcode
+
+let unary ?words ?cycles opcode : Machine.emitter =
+ fun ctx _node children ->
+  match children with
+  | [ Machine.Vreg a ] -> alu ?words ?cycles ctx opcode ~operands:[] [ a ]
+  | _ -> bad opcode
+
+let emitters : (string * Machine.emitter) list =
+  [
+    ( "mem_ref",
+      fun _ctx node _children ->
+        match node with Ir.Tree.Ref r -> Machine.Mem r | _ -> bad "mem_ref" );
+    ( "mem_const",
+      fun ctx node _children ->
+        match node with
+        | Ir.Tree.Const k -> Machine.Mem (Machine.const_cell ctx k)
+        | _ -> bad "mem_const" );
+    ( "lw",
+      fun ctx _node children ->
+        match children with
+        | [ Machine.Mem m ] -> Machine.Vreg (load ctx m)
+        | _ -> bad "lw" );
+    ( "li",
+      fun ctx node _children ->
+        match node with
+        | Ir.Tree.Const k -> Machine.Vreg (load_imm ctx k)
+        | _ -> bad "li" );
+    ("addi", binary_imm "ADDI");
+    ("add", binary "ADD");
+    ("sub", binary "SUB");
+    ("mul", binary "MUL");
+    ("and", binary "AND");
+    ("or", binary "OR");
+    ("xor", binary "XOR");
+    ("slli", binary_imm "SLLI");
+    ("srai", binary_imm "SRAI");
+    ("neg", unary "NEG");
+    ("not", unary "NOT");
+    ("ssat", unary ~words:3 ~cycles:3 "SSAT");
+    ( "spill_sw",
+      fun ctx _node children ->
+        match children with
+        | [ Machine.Vreg v ] ->
+          let s = Machine.fresh_scratch ctx in
+          store_from ctx s v;
+          Machine.Mem s
+        | _ -> bad "spill_sw" );
+  ]
+
+let store ctx dst (value : Machine.value) =
+  match value with
+  | Machine.Vreg v -> store_from ctx dst v
+  | Machine.Mem src -> store_from ctx dst (load ctx src)
+  | Machine.Imm k -> store_from ctx dst (load_imm ctx k)
+
+let loop_ =
+  {
+    Machine.counter_cls = "g";
+    loop_pre =
+      (fun ctx ~count ->
+        let c = Machine.fresh_vreg ctx "g" in
+        Machine.emit ctx
+          (Instr.make "LI"
+             ~operands:[ Instr.Vreg c; Instr.Imm count ]
+             ~defs:[ Instr.Vreg c ] ~funit:"ctl");
+        c);
+    loop_close =
+      (fun ctx c ->
+        (* decrement, then the closing conditional branch; the branch is
+           control (never removed) and keeps the counter live *)
+        Machine.emit ctx
+          (Instr.make "ADDI"
+             ~operands:[ Instr.Imm (-1) ]
+             ~defs:[ Instr.Vreg c ] ~uses:[ Instr.Vreg c ]);
+        Machine.emit ctx
+          (Instr.make "BNEZ"
+             ~operands:[ Instr.Vreg c ]
+             ~uses:[ Instr.Vreg c ] ~funit:"ctl"));
+  }
+
+let agu =
+  {
+    Machine.ar_cls = "g";
+    ar_limit = 8;
+    load_ar =
+      (fun ctx v r ->
+        Machine.emit ctx
+          (Instr.make "LA"
+             ~operands:[ Instr.Vreg v; Instr.Adr r ]
+             ~defs:[ Instr.Vreg v ] ~funit:"ctl"));
+    add_ar = None;
+  }
+
+let naive_agu =
+  {
+    Machine.address_into =
+      (fun ctx v ~ivar_cell ~stream ->
+        let step =
+          match stream.Ir.Mref.index with
+          | Ir.Mref.Induct { step; _ } -> step
+          | _ -> 1
+        in
+        Machine.emit ctx
+          (Instr.make "LAI"
+             ~operands:
+               [
+                 Instr.Vreg v;
+                 Instr.Adr stream;
+                 Instr.Dir ivar_cell;
+                 Instr.Imm step;
+               ]
+             ~defs:[ Instr.Vreg v ]
+             ~uses:[ Instr.Dir ivar_cell ]
+             ~words:2 ~cycles:2 ~funit:"ctl"));
+    zero_cell = (fun ctx cell -> store_from ctx cell (load_imm ctx 0));
+    incr_cell =
+      (fun ctx cell ->
+        let a = load ctx cell in
+        let a' = Machine.fresh_vreg ctx "g" in
+        Machine.emit ctx
+          (Instr.make "ADDI" ~operands:[ Instr.Imm 1 ]
+             ~defs:[ Instr.Vreg a' ] ~uses:[ Instr.Vreg a ]);
+        store_from ctx cell a');
+  }
+
+let spills =
+  [
+    ( "g",
+      {
+        Machine.spill_store =
+          (fun v m ->
+            Instr.make "SW"
+              ~operands:[ Instr.Dir m ]
+              ~defs:[ Instr.Dir m ] ~uses:[ Instr.Vreg v ] ~funit:"move");
+        spill_load =
+          (fun m v ->
+            Instr.make "LW"
+              ~operands:[ Instr.Dir m ]
+              ~defs:[ Instr.Vreg v ] ~uses:[ Instr.Dir m ] ~funit:"move");
+      } );
+  ]
+
+let exec st (i : Instr.t) =
+  let op n = List.nth i.Instr.operands n in
+  let rd n = Mstate.read_operand st (op n) in
+  let use n = Mstate.read_operand st (List.nth i.Instr.uses n) in
+  let def () =
+    match i.Instr.defs with
+    | d :: _ -> d
+    | [] -> invalid_arg ("risc32: " ^ i.Instr.opcode ^ " without destination")
+  in
+  let set v = Mstate.write_operand st (def ()) v in
+  match i.Instr.opcode with
+  | "LW" -> set (rd 0)
+  | "SW" -> Mstate.write_operand st (op 0) (use 0)
+  | "LI" -> (
+    match i.Instr.operands with
+    | [ Instr.Imm k ] -> set k
+    | [ c; Instr.Imm k ] -> Mstate.write_operand st c k
+    | _ -> invalid_arg "risc32: LI operands")
+  | "ADDI" -> set (use 0 + rd 0)
+  | "ADD" -> set (use 0 + use 1)
+  | "SUB" -> set (use 0 - use 1)
+  | "MUL" -> set (use 0 * use 1)
+  | "AND" -> set (use 0 land use 1)
+  | "OR" -> set (use 0 lor use 1)
+  | "XOR" -> set (use 0 lxor use 1)
+  | "SLLI" -> set (Ir.Op.eval_binop Ir.Op.Shl (use 0) (rd 0))
+  | "SRAI" -> set (Ir.Op.eval_binop Ir.Op.Shr (use 0) (rd 0))
+  | "NEG" -> set (-use 0)
+  | "NOT" -> set (lnot (use 0))
+  | "SSAT" -> set (Ir.Op.eval_unop Ir.Op.Sat ~width:16 (use 0))
+  | "BNEZ" -> ()
+  | "LA" -> Mstate.write_operand st (op 0) (rd 1)
+  | "LAI" -> Mstate.write_operand st (op 0) (rd 1 + (rd 3 * rd 2))
+  | opc -> invalid_arg ("risc32: cannot execute " ^ opc)
+
+let machine =
+  {
+    Machine.name = "risc32";
+    description = "conventional 32-register load/store RISC baseline";
+    word_bits = 16;
+    grammar;
+    emitters;
+    store;
+    regfile =
+      Regfile.make
+        [ { Regfile.cls_name = "g"; count = 32; role = "general registers" } ];
+    modes = [];
+    mode_change =
+      (fun m v -> invalid_arg (Printf.sprintf "risc32: no mode %s=%d" m v));
+    slots = None;
+    banks = [ "data" ];
+    default_bank = "data";
+    loop_;
+    agu = Some agu;
+    naive_agu = Some naive_agu;
+    spills;
+    exec;
+    classification =
+      {
+        Classify.availability = Classify.Package;
+        domain = Classify.General_purpose;
+        application = Classify.Fixed_architecture;
+      };
+  }

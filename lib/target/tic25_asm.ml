@@ -1,0 +1,213 @@
+(* Textual assembler for the Tic25 target: prints structured assembly to
+   TMS320-flavoured text and parses it back.  Round-tripping preserves word
+   counts and simulator behaviour; def/use annotations are not encoded (the
+   Tic25 executable semantics never consult them), and counted loops are
+   kept structural with "; loop xN" / "; end loop" marker lines. *)
+
+exception Parse_error of string
+
+(* ---- printing ----------------------------------------------------------- *)
+
+(* Address operands may carry induction references whose textual form would
+   not survive a round trip; print the effective base address reference
+   instead (the simulator only ever takes its base address). *)
+let adr_to_string (r : Ir.Mref.t) =
+  let cell base off =
+    if off = 0 then "&" ^ base else Printf.sprintf "&%s[%d]" base off
+  in
+  match r.Ir.Mref.index with
+  | Ir.Mref.Direct -> cell r.Ir.Mref.base 0
+  | Ir.Mref.Elem k -> cell r.Ir.Mref.base k
+  | Ir.Mref.Induct { offset; _ } -> cell r.Ir.Mref.base offset
+
+let rec operand_to_string (o : Instr.operand) =
+  match o with
+  | Instr.Adr r -> adr_to_string r
+  | Instr.Ind (inner, u, _) ->
+    let suffix =
+      match u with
+      | Instr.No_update -> ""
+      | Instr.Post_inc -> "+"
+      | Instr.Post_dec -> "-"
+    in
+    "*" ^ operand_to_string inner ^ suffix
+  | _ -> Instr.operand_to_string o
+
+let instr_to_string (i : Instr.t) =
+  match i.Instr.operands with
+  | [] -> i.Instr.opcode
+  | ops ->
+    Printf.sprintf "%-6s %s" i.Instr.opcode
+      (String.concat ", " (List.map operand_to_string ops))
+
+let print (asm : Asm.t) =
+  let buf = Buffer.create 256 in
+  let line indent s =
+    Buffer.add_string buf indent;
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let rec go indent (item : Asm.item) =
+    match item with
+    | Asm.Op i -> line indent (instr_to_string i)
+    | Asm.Par is ->
+      line indent (String.concat "  ||  " (List.map instr_to_string is))
+    | Asm.Loop l ->
+      line indent (Printf.sprintf "; loop x%d" l.Asm.count);
+      List.iter (go (indent ^ "  ")) l.Asm.body;
+      line indent "; end loop"
+  in
+  line "" ("; " ^ asm.Asm.name);
+  List.iter (go "") asm.Asm.items;
+  Buffer.contents buf
+
+(* ---- parsing ------------------------------------------------------------ *)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let int_of s =
+  match int_of_string (String.trim s) with
+  | k -> k
+  | exception _ -> fail "bad integer %S" s
+
+(* Name with optional [k] suffix. *)
+let mref_of s =
+  match String.index_opt s '[' with
+  | None ->
+    if s = "" then fail "empty operand";
+    Ir.Mref.scalar s
+  | Some i ->
+    let len = String.length s in
+    if len < i + 2 || s.[len - 1] <> ']' then fail "malformed reference %S" s;
+    let base = String.sub s 0 i in
+    let k = int_of (String.sub s (i + 1) (len - i - 2)) in
+    if base = "" || k < 0 then fail "malformed reference %S" s;
+    if k = 0 then Ir.Mref.scalar base else Ir.Mref.elem base k
+
+let is_areg s =
+  String.length s > 2
+  && String.sub s 0 2 = "ar"
+  && String.for_all (fun c -> c >= '0' && c <= '9')
+       (String.sub s 2 (String.length s - 2))
+
+let operand_of s =
+  let s = String.trim s in
+  if s = "" then fail "empty operand"
+  else if s.[0] = '#' then
+    Instr.Imm (int_of (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = '&' then
+    Instr.Adr (mref_of (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = '*' then begin
+    let body = String.sub s 1 (String.length s - 1) in
+    let upd, body =
+      match body with
+      | "" -> fail "empty indirect operand"
+      | _ -> (
+        match body.[String.length body - 1] with
+        | '+' -> (Instr.Post_inc, String.sub body 0 (String.length body - 1))
+        | '-' -> (Instr.Post_dec, String.sub body 0 (String.length body - 1))
+        | _ -> (Instr.No_update, body))
+    in
+    if not (is_areg body) then fail "bad address register %S" body;
+    let idx = int_of_string (String.sub body 2 (String.length body - 2)) in
+    Instr.Ind (Instr.Reg { Instr.cls = "ar"; idx }, upd, None)
+  end
+  else if is_areg s then
+    Instr.Reg
+      { Instr.cls = "ar"; idx = int_of_string (String.sub s 2 (String.length s - 2)) }
+  else Instr.Dir (mref_of s)
+
+(* Opcode table restoring the size/timing/unit attributes the printer does
+   not encode.  [cycles] = None means "same as words"; RPTMAC takes its
+   cycle count from its repetition operand. *)
+let attrs opcode (operands : Instr.operand list) =
+  let plain = (1, None, "alu", None) in
+  let move = (1, None, "move", None) in
+  let ctl = (1, None, "ctl", None) in
+  match opcode with
+  | "ZAC" | "LACK" | "ADD" | "ADDK" | "SUB" | "SUBK" | "AND" | "OR" | "XOR"
+  | "NEG" | "CMPL" | "SFL" | "SFR" | "MPY" | "MPYK" | "PAC" | "APAC"
+  | "SPAC" | "DMOV" ->
+    Some plain
+  | "LAC" | "SACL" | "LT" -> Some move
+  | "LARK" -> Some ctl
+  | "LARI" -> Some (2, Some 2, "ctl", None)
+  | "BANZ" -> Some (2, Some 2, "ctl", None)
+  | "RPTMAC" ->
+    let n =
+      match operands with
+      | Instr.Imm n :: _ -> n
+      | _ -> fail "RPTMAC needs a repetition count"
+    in
+    Some (2, Some n, "alu", None)
+  | "SOVM" -> Some (1, None, "ctl", Some ("ovm", 1))
+  | "ROVM" -> Some (1, None, "ctl", Some ("ovm", 0))
+  | _ -> None
+
+let instr_of_line line =
+  let opcode, rest =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+      ( String.sub line 0 i,
+        String.sub line (i + 1) (String.length line - i - 1) )
+  in
+  let operands =
+    match String.trim rest with
+    | "" -> []
+    | rest -> List.map operand_of (String.split_on_char ',' rest)
+  in
+  match attrs opcode operands with
+  | None -> fail "unknown opcode %S" opcode
+  | Some (words, cycles, funit, mode_set) ->
+    Instr.make opcode ~operands ~words ?cycles ~funit ?mode_set
+
+let loop_header line =
+  (* "; loop xN" *)
+  let rest = String.trim (String.sub line 1 (String.length line - 1)) in
+  match String.split_on_char ' ' rest with
+  | [ "loop"; spec ]
+    when String.length spec > 1
+         && spec.[0] = 'x'
+         && String.for_all
+              (fun c -> c >= '0' && c <= '9')
+              (String.sub spec 1 (String.length spec - 1)) ->
+    Some (int_of_string (String.sub spec 1 (String.length spec - 1)))
+  | _ -> None
+
+let is_end_loop line =
+  String.trim (String.sub line 1 (String.length line - 1)) = "end loop"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  (* Stack of open loop bodies (reversed); the bottom is the toplevel. *)
+  let stack = ref [ (0, ref []) ] in
+  let push_item it =
+    match !stack with
+    | (_, body) :: _ -> body := it :: !body
+    | [] -> assert false
+  in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if line = "" then ()
+      else if line.[0] = ';' then begin
+        match loop_header line with
+        | Some count -> stack := (count, ref []) :: !stack
+        | None ->
+          if is_end_loop line then begin
+            match !stack with
+            | (count, body) :: (((_, _) :: _) as rest) ->
+              stack := rest;
+              push_item
+                (Asm.Loop
+                   { Asm.ivar = None; count; body = List.rev !body })
+            | _ -> fail "unmatched end loop"
+          end
+          (* other comment lines are ignored *)
+      end
+      else push_item (Asm.Op (instr_of_line line)))
+    lines;
+  match !stack with
+  | [ (_, body) ] -> Asm.make ~name:"parsed" (List.rev !body)
+  | _ -> fail "unterminated loop"

@@ -1,0 +1,258 @@
+(* Property tests and edge cases for the target layer, beyond the unit
+   coverage in Test_target: assembler round-trips on random instruction
+   streams, operand mapping through nested indirect operands, layout
+   addressing at the array boundaries, and scratch-cell compaction. *)
+
+(* ---- Tic25 assembler round-trip ----------------------------------------- *)
+
+(* Random printable Tic25 instructions: every shape the printer can emit and
+   the parser accepts. *)
+let gen_instr =
+  let open QCheck.Gen in
+  let mem =
+    oneof
+      [
+        map (fun b -> Ir.Mref.scalar ("v" ^ string_of_int b)) (int_bound 3);
+        map2
+          (fun b k -> Ir.Mref.elem ("v" ^ string_of_int b) (k + 1))
+          (int_bound 3) (int_bound 7);
+      ]
+  in
+  let dir = map (fun r -> Target.Instr.Dir r) mem in
+  let adr = map (fun r -> Target.Instr.Adr r) mem in
+  let imm = map (fun k -> Target.Instr.Imm k) (int_range (-255) 255) in
+  let ind =
+    map2
+      (fun idx u ->
+        Target.Instr.Ind
+          ( Target.Instr.Reg { Target.Instr.cls = "ar"; idx },
+            u,
+            None ))
+      (int_bound 7)
+      (oneofl
+         [ Target.Instr.No_update; Target.Instr.Post_inc; Target.Instr.Post_dec ])
+  in
+  oneof
+    [
+      map (fun op -> Target.Instr.make "LAC" ~operands:[ op ] ~funit:"move")
+        (oneof [ dir; ind ]);
+      map (fun op -> Target.Instr.make "SACL" ~operands:[ op ] ~funit:"move")
+        (oneof [ dir; ind ]);
+      map (fun op -> Target.Instr.make "ADD" ~operands:[ op ])
+        (oneof [ dir; ind ]);
+      map (fun op -> Target.Instr.make "ADDK" ~operands:[ op ]) imm;
+      map (fun op -> Target.Instr.make "MPYK" ~operands:[ op ]) imm;
+      return (Target.Instr.make "ZAC");
+      return (Target.Instr.make "PAC");
+      return (Target.Instr.make "APAC");
+      return (Target.Instr.make "SOVM" ~funit:"ctl" ~mode_set:("ovm", 1));
+      map2
+        (fun idx op ->
+          Target.Instr.make "LARK"
+            ~operands:[ Target.Instr.Reg { Target.Instr.cls = "ar"; idx }; op ]
+            ~funit:"ctl")
+        (int_bound 7) imm;
+      map (fun op -> Target.Instr.make "DMOV" ~operands:[ op ]) (oneof [ dir; adr ]);
+    ]
+
+let gen_asm =
+  let open QCheck.Gen in
+  let block = list_size (int_range 1 6) (map (fun i -> Target.Asm.Op i) gen_instr) in
+  map
+    (fun (pre, count, body) ->
+      Target.Asm.make ~name:"parsed"
+        (pre @ [ Target.Asm.Loop { Target.Asm.ivar = None; count; body } ]))
+    (triple block (int_range 1 9) block)
+
+let prop_asm_roundtrip =
+  QCheck.Test.make ~name:"tic25 asm: parse (print asm) reprints identically"
+    ~count:200
+    (QCheck.make ~print:Target.Tic25_asm.print gen_asm)
+    (fun asm ->
+      let text = Target.Tic25_asm.print asm in
+      let reparsed = Target.Tic25_asm.parse text in
+      Target.Tic25_asm.print reparsed = text
+      && Target.Asm.words reparsed = Target.Asm.words asm)
+
+(* ---- map_operands through nested indirection ---------------------------- *)
+
+let test_map_operands_nested () =
+  let inner =
+    Target.Instr.Ind (Target.Instr.vreg "ar" 0, Target.Instr.Post_inc, None)
+  in
+  let i =
+    Target.Instr.make "LD"
+      ~operands:[ Target.Instr.Ind (inner, Target.Instr.No_update, None) ]
+      ~defs:[ Target.Instr.vreg "acc" 0 ]
+  in
+  let mapped =
+    Target.Instr.map_operands
+      (fun o ->
+        match o with
+        | Target.Instr.Vreg v ->
+          Target.Instr.Reg { Target.Instr.cls = v.Target.Instr.vcls; idx = 7 }
+        | _ -> o)
+      i
+  in
+  (match mapped.Target.Instr.operands with
+  | [
+   Target.Instr.Ind
+     ( Target.Instr.Ind (Target.Instr.Reg { cls = "ar"; idx = 7 }, _, _),
+       _,
+       _ );
+  ] ->
+    ()
+  | _ -> Alcotest.fail "vreg two levels down not rewritten");
+  Alcotest.(check (list string))
+    "vregs_of_operand sees through nesting" [ "ar" ]
+    (List.map
+       (fun (v : Target.Instr.vreg) -> v.Target.Instr.vcls)
+       (Target.Instr.vregs_of_operand (List.hd i.Target.Instr.operands)))
+
+(* ---- Layout addressing at the edges ------------------------------------- *)
+
+let test_layout_descending_induction () =
+  let l = Target.Layout.make ~banks:[ "data" ] [ ("a", 4, "data") ] in
+  let r = Ir.Mref.induct "a" ~ivar:"i" ~offset:3 ~step:(-1) in
+  (* Walking i = 0..3 sweeps the array top-down and stays in bounds. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "a[3-%d]" i)
+        (3 - i)
+        (Target.Layout.address l r ~ienv:[ ("i", i) ]))
+    [ 0; 1; 2; 3 ];
+  Alcotest.check_raises "descending overrun"
+    (Invalid_argument "Layout.address: a[-1] index -1 out of bounds")
+    (fun () -> ignore (Target.Layout.address l r ~ienv:[ ("i", 4) ]))
+
+let test_layout_bank_separation () =
+  let l =
+    Target.Layout.make ~banks:[ "x"; "y" ]
+      [ ("a", 2, "x"); ("b", 3, "y"); ("c", 1, "y") ]
+  in
+  (* The y region starts after every x entry, regardless of declaration
+     interleaving, and sizes add up. *)
+  Alcotest.(check int) "b after x region" 2
+    (Target.Layout.find l "b").Target.Layout.addr;
+  Alcotest.(check int) "c packs after b" 5
+    (Target.Layout.find l "c").Target.Layout.addr;
+  Alcotest.(check string) "bank of c" "y"
+    (Target.Layout.bank_of_ref l (Ir.Mref.scalar "c"));
+  Alcotest.check_raises "declaring into an unknown bank"
+    (Invalid_argument "Layout.make: d placed in unknown bank ghost") (fun () ->
+      ignore (Target.Layout.make ~banks:[ "x" ] [ ("d", 1, "ghost") ]))
+
+(* ---- Scratch-cell compaction --------------------------------------------- *)
+
+let store cell =
+  Target.Instr.make "ST"
+    ~operands:[ Target.Instr.Dir (Ir.Mref.scalar cell) ]
+    ~defs:[ Target.Instr.Dir (Ir.Mref.scalar cell) ]
+
+let load cell =
+  Target.Instr.make "LD"
+    ~operands:[ Target.Instr.Dir (Ir.Mref.scalar cell) ]
+    ~uses:[ Target.Instr.Dir (Ir.Mref.scalar cell) ]
+
+let cells_of asm =
+  let seen = ref [] in
+  Target.Asm.iter
+    (fun i ->
+      List.iter
+        (fun op ->
+          match op with
+          | Target.Instr.Dir r ->
+            if not (List.mem r.Ir.Mref.base !seen) then
+              seen := r.Ir.Mref.base :: !seen
+          | _ -> ())
+        i.Target.Instr.operands)
+    asm;
+  List.sort compare !seen
+
+let test_scratchpack_disjoint_share () =
+  let asm =
+    Target.Asm.make ~name:"t"
+      [
+        Target.Asm.Op (store "$s0");
+        Target.Asm.Op (load "$s0");
+        Target.Asm.Op (store "$s1");
+        Target.Asm.Op (load "$s1");
+      ]
+  in
+  let asm', decls = Opt.Scratchpack.run asm in
+  Alcotest.(check int) "one cell" 1 (List.length decls);
+  Alcotest.(check (list string)) "all renamed" [ "$s0" ] (cells_of asm')
+
+let test_scratchpack_overlap_kept_apart () =
+  let asm =
+    Target.Asm.make ~name:"t"
+      [
+        Target.Asm.Op (store "$s0");
+        Target.Asm.Op (store "$s1");
+        Target.Asm.Op (load "$s0");
+        Target.Asm.Op (load "$s1");
+      ]
+  in
+  let _, decls = Opt.Scratchpack.run asm in
+  Alcotest.(check int) "two cells" 2 (List.length decls)
+
+let test_scratchpack_loop_cell_isolated () =
+  (* An induction cell written before the loop is live around the back edge;
+     it must not share storage with a loop-local scratch value. *)
+  let asm =
+    Target.Asm.make ~name:"t"
+      [
+        Target.Asm.Op (store "$s0");
+        Target.Asm.Loop
+          {
+            Target.Asm.ivar = None;
+            count = 4;
+            body =
+              [
+                Target.Asm.Op (store "$s1");
+                Target.Asm.Op (load "$s1");
+                Target.Asm.Op (load "$s0");
+                Target.Asm.Op (store "$s0");
+              ];
+          };
+      ]
+  in
+  let _, decls = Opt.Scratchpack.run asm in
+  Alcotest.(check int) "loop cell kept apart" 2 (List.length decls)
+
+let test_scratchpack_untouched_names () =
+  (* Program variables and constant-pool cells are not scratch and survive
+     compaction untouched. *)
+  let asm =
+    Target.Asm.make ~name:"t"
+      [ Target.Asm.Op (load "x"); Target.Asm.Op (load "$k0") ]
+  in
+  let asm', decls = Opt.Scratchpack.run asm in
+  Alcotest.(check int) "no scratch decls" 0 (List.length decls);
+  Alcotest.(check (list string)) "names intact" [ "$k0"; "x" ] (cells_of asm')
+
+let suites =
+  [
+    ( "target.props",
+      [
+        QCheck_alcotest.to_alcotest prop_asm_roundtrip;
+        Alcotest.test_case "map_operands nested indirection" `Quick
+          test_map_operands_nested;
+        Alcotest.test_case "layout descending induction" `Quick
+          test_layout_descending_induction;
+        Alcotest.test_case "layout bank separation" `Quick
+          test_layout_bank_separation;
+      ] );
+    ( "target.scratchpack",
+      [
+        Alcotest.test_case "disjoint lifetimes share a cell" `Quick
+          test_scratchpack_disjoint_share;
+        Alcotest.test_case "overlapping lifetimes kept apart" `Quick
+          test_scratchpack_overlap_kept_apart;
+        Alcotest.test_case "loop-carried cells isolated" `Quick
+          test_scratchpack_loop_cell_isolated;
+        Alcotest.test_case "non-scratch names untouched" `Quick
+          test_scratchpack_untouched_names;
+      ] );
+  ]
