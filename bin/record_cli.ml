@@ -224,7 +224,12 @@ let selftest_cmd netlist =
     suite.Selftest.untestable;
   let cov = Selftest.fault_coverage suite in
   Format.printf "@.stuck-at fault coverage: %d/%d@." cov.Selftest.detected
-    cov.Selftest.faults
+    cov.Selftest.faults;
+  (* Scriptable in CI: a failing self-test fails the run. *)
+  if List.exists (fun (_, ok) -> not ok) results then begin
+    prerr_endline "record: selftest failed";
+    exit 1
+  end
 
 let selftest_t =
   Cmd.v
@@ -325,6 +330,73 @@ let timing_t =
        ~doc:"Static execution-time analysis of a compiled DFL program")
     Term.(const timing_cmd $ file_arg $ target_arg $ deadline_arg)
 
+(* ---- fuzz -------------------------------------------------------------------- *)
+
+let fuzz_cmd seed count max_size targets record_only no_shrink =
+  let selected =
+    match targets with
+    | [] -> machines ()
+    | names -> List.map (fun n -> or_die (find_machine n)) names
+  in
+  let combos =
+    Fuzz.Oracle.combos_for ~machines:selected ~conventional:(not record_only)
+  in
+  let config = Fuzz.Gen.sized max_size in
+  let report =
+    Fuzz.Oracle.run ~config ~combos ~shrink:(not no_shrink) ~seed ~count ()
+  in
+  Format.printf "%a@." Fuzz.Oracle.pp_report report;
+  if Fuzz.Oracle.failures report > 0 then begin
+    List.iter
+      (fun (c : Fuzz.Oracle.counterexample) ->
+        Format.printf
+          "reproduce: record fuzz --seed %d --count %d --max-size %d  # failing case %d on %s@."
+          c.Fuzz.Oracle.case.Fuzz.Gen.seed
+          (c.Fuzz.Oracle.case.Fuzz.Gen.index + 1)
+          max_size c.Fuzz.Oracle.case.Fuzz.Gen.index c.Fuzz.Oracle.combo)
+      report.Fuzz.Oracle.counterexamples;
+    prerr_endline "record: fuzz found counterexamples";
+    exit 1
+  end
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+         ~doc:"Campaign seed; a failing case is reproduced exactly by its \
+               seed and index")
+
+let count_arg =
+  Arg.(value & opt int 200 & info [ "count" ] ~docv:"N"
+         ~doc:"Number of random programs to generate")
+
+let max_size_arg =
+  Arg.(value & opt int 4 & info [ "max-size" ] ~docv:"N"
+         ~doc:"Program size knob (top-level items; expression depth scales \
+               with it)")
+
+let fuzz_targets_arg =
+  Arg.(value & opt_all string [] & info [ "target"; "t" ] ~docv:"NAME"
+         ~doc:"Restrict to a target (repeatable); default is every bundled \
+               machine")
+
+let record_only_arg =
+  Arg.(value & flag & info [ "record-only" ]
+         ~doc:"Only fuzz the RECORD configuration (skip the conventional \
+               baseline option set)")
+
+let no_shrink_arg =
+  Arg.(value & flag & info [ "no-shrink" ]
+         ~doc:"Report counterexamples as generated, without minimizing them")
+
+let fuzz_t =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random programs, every target, compiled \
+             code versus the reference interpreter (exit 1 on any \
+             counterexample)")
+    Term.(
+      const fuzz_cmd $ seed_arg $ count_arg $ max_size_arg $ fuzz_targets_arg
+      $ record_only_arg $ no_shrink_arg)
+
 (* ---- table1 ------------------------------------------------------------------ *)
 
 let table1_cmd () =
@@ -345,5 +417,5 @@ let () =
        (Cmd.group info
           [
             compile_t; targets_t; ise_t; selftest_t; table1_t; rules_t;
-            timing_t; asm_t;
+            timing_t; asm_t; fuzz_t;
           ]))

@@ -242,7 +242,8 @@ let rec lower machine matcher ctx (options : Options.t) stats cells items =
                 stats :=
                   { !stats with agu_streams = (!stats).agu_streams + n };
                 (inits, body', None)
-              | exception Opt.Agu.Too_many_streams msg -> raise (Error msg))
+              | exception Opt.Agu.Too_many_streams msg -> raise (Error msg)
+              | exception Opt.Agu.Unsupported msg -> raise (Error msg))
             | None -> ([], body_items, Some ivar)
           in
           let counter =

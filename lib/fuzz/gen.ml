@@ -1,0 +1,183 @@
+(* Seeded random-program generation.
+
+   Everything is derived from an explicit [Random.State.t] seeded with
+   [(seed, index)], so the generator has no hidden global state: the same
+   seed and index always produce the same program and the same inputs, and
+   case [k] of a campaign does not depend on how many cases follow it. *)
+
+type config = {
+  max_items : int;
+  max_depth : int;
+  max_loop : int;
+  max_nest : int;
+  array_size : int;
+}
+
+let default =
+  { max_items = 4; max_depth = 3; max_loop = 6; max_nest = 2; array_size = 8 }
+
+let sized n =
+  let n = max 1 n in
+  { default with max_items = n; max_depth = min 5 (2 + (n / 3)) }
+
+type case = {
+  seed : int;
+  index : int;
+  prog : Ir.Prog.t;
+  inputs : (string * int array) list;
+}
+
+(* ---- the fixed vocabulary ---------------------------------------------- *)
+
+let decls cfg =
+  [
+    Ir.Prog.scalar_decl ~storage:Ir.Prog.Input "a";
+    Ir.Prog.scalar_decl ~storage:Ir.Prog.Input "b";
+    Ir.Prog.array_decl ~storage:Ir.Prog.Input "p" cfg.array_size;
+    Ir.Prog.array_decl ~storage:Ir.Prog.Input "q" cfg.array_size;
+    Ir.Prog.scalar_decl ~storage:Ir.Prog.Output "u";
+    Ir.Prog.scalar_decl ~storage:Ir.Prog.Output "v";
+    Ir.Prog.array_decl ~storage:Ir.Prog.Output "r" cfg.array_size;
+    Ir.Prog.scalar_decl ~storage:Ir.Prog.Temp "w";
+  ]
+
+let scalars = [ "a"; "b"; "u"; "v"; "w" ]
+let read_arrays = [ "p"; "q"; "r" ]
+let write_scalars = [ "u"; "v"; "w" ]
+let write_arrays = [ "r"; "p" ]
+
+(* ---- random primitives -------------------------------------------------- *)
+
+let int_range st lo hi = lo + Random.State.int st (hi - lo + 1)
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+let chance st pct = Random.State.int st 100 < pct
+
+(* Constants concentrate on the immediate-width boundaries of the bundled
+   targets (4-, 6-, 8-, 12- and 13-bit immediate fields) so that both the
+   in-range and the constant-pool paths of every back end are exercised. *)
+let boundary_consts =
+  [
+    3; 7; 8; 15; 16; 31; 32; 63; 64; 127; 128; 255; 256; 2047; 2048; 4095;
+    4096; 9999; -1; -2; -7; -8; -15; -16; -127; -128; -255; -256; -4096;
+  ]
+
+let wide_consts = [ 32767; -32768; 16384; -16384 ]
+
+let const st =
+  let r = Random.State.int st 100 in
+  if r < 55 then int_range st 0 9
+  else if r < 70 then -int_range st 0 9
+  else if r < 96 then pick st boundary_consts
+  else pick st wide_consts
+
+(* Input values stay small most of the time so that generated programs tend
+   to respect the fixed-point contract (every intermediate within the word
+   range); occasional boundary values probe wrapping at the stores. *)
+let input_value st =
+  let r = Random.State.int st 100 in
+  if r < 70 then int_range st (-5) 5
+  else if r < 92 then int_range st (-100) 100
+  else pick st [ 32767; -32768; 255; -256; 1000; -1000 ]
+
+(* ---- references ---------------------------------------------------------- *)
+
+(* An in-bounds stream over [base] for a loop with [count] iterations:
+   ascending streams start low enough, descending ones high enough, that
+   every iteration's access stays inside the array. *)
+let induct_ref st cfg base ~ivar ~count =
+  let size = cfg.array_size in
+  if chance st 75 then
+    let offset = int_range st 0 (size - count) in
+    Ir.Mref.induct ~offset ~step:1 base ~ivar
+  else
+    let offset = int_range st (count - 1) (size - 1) in
+    Ir.Mref.induct ~offset ~step:(-1) base ~ivar
+
+let array_ref st cfg env base =
+  match env with
+  | innermost :: _ when chance st 70 ->
+    (* favour the innermost loop's stream, but sometimes walk an outer one *)
+    let ivar, count = if chance st 80 then innermost else pick st env in
+    induct_ref st cfg base ~ivar ~count
+  | _ -> Ir.Mref.elem base (int_range st 0 (cfg.array_size - 1))
+
+(* ---- expression trees ----------------------------------------------------- *)
+
+let leaf st cfg env =
+  let r = Random.State.int st 100 in
+  if r < 30 then Ir.Tree.const (const st)
+  else if r < 65 then Ir.Tree.var (pick st scalars)
+  else Ir.Tree.ref_ (array_ref st cfg env (pick st read_arrays))
+
+let rec tree st cfg env depth =
+  if depth <= 0 || chance st 25 then leaf st cfg env
+  else
+    let sub () = tree st cfg env (depth - 1) in
+    match Random.State.int st 10 with
+    | 0 | 1 -> Ir.Tree.Binop (Ir.Op.Add, sub (), sub ())
+    | 2 -> Ir.Tree.Binop (Ir.Op.Sub, sub (), sub ())
+    | 3 ->
+      Ir.Tree.Binop (pick st Ir.Op.[ And; Or; Xor ], sub (), sub ())
+    | 4 ->
+      (* products take leaf operands: a multiply of nested expressions
+         leaves the fixed-point contract almost immediately *)
+      Ir.Tree.Binop (Ir.Op.Mul, leaf st cfg env, leaf st cfg env)
+    | 5 ->
+      Ir.Tree.Binop
+        (Ir.Op.Shl, leaf st cfg env, Ir.Tree.const (int_range st 0 3))
+    | 6 ->
+      Ir.Tree.Binop (Ir.Op.Shr, sub (), Ir.Tree.const (int_range st 0 6))
+    | 7 -> Ir.Tree.Unop (Ir.Op.Neg, sub ())
+    | 8 -> Ir.Tree.Unop (Ir.Op.Not, leaf st cfg env)
+    | _ -> Ir.Tree.Unop (Ir.Op.Sat, sub ())
+
+(* ---- statements and loops -------------------------------------------------- *)
+
+let dst st cfg env =
+  if chance st 65 then Ir.Mref.scalar (pick st write_scalars)
+  else array_ref st cfg env (pick st write_arrays)
+
+let stmt st cfg env =
+  Ir.Prog.assign (dst st cfg env) (tree st cfg env cfg.max_depth)
+
+let rec item st cfg env ~nest ~next_ivar =
+  if nest < cfg.max_nest && chance st 30 then begin
+    let ivar = Printf.sprintf "i%d" !next_ivar in
+    incr next_ivar;
+    let count = int_range st 1 (min cfg.max_loop cfg.array_size) in
+    let env = (ivar, count) :: env in
+    let body =
+      List.init (int_range st 1 3) (fun _ ->
+          item st cfg env ~nest:(nest + 1) ~next_ivar)
+    in
+    Ir.Prog.loop ivar count body
+  end
+  else stmt st cfg env
+
+(* ---- cases ------------------------------------------------------------------ *)
+
+let case ?(config = default) ~seed ~index () =
+  let st = Random.State.make [| 0x5eed; seed; index |] in
+  let next_ivar = ref 0 in
+  let n = int_range st 1 config.max_items in
+  let body =
+    List.init n (fun _ -> item st config [] ~nest:0 ~next_ivar)
+  in
+  let prog =
+    Ir.Prog.make
+      ~name:(Printf.sprintf "fuzz_%d_%d" seed index)
+      ~decls:(decls config) body
+  in
+  let inputs =
+    List.filter_map
+      (fun (d : Ir.Prog.decl) ->
+        match d.storage with
+        | Ir.Prog.Input ->
+          Some (d.name, Array.init d.size (fun _ -> input_value st))
+        | Ir.Prog.Output | Ir.Prog.Temp -> None)
+      prog.Ir.Prog.decls
+  in
+  { seed; index; prog; inputs }
+
+let cases ?config ~seed ~count () =
+  List.init count (fun index -> case ?config ~seed ~index ())

@@ -1,0 +1,100 @@
+(** The differential oracle: compiled code versus the reference interpreter.
+
+    A generated program is compiled for a machine under a given option set,
+    executed on the instruction-set simulator, and its outputs compared
+    word-for-word against {!Ir.Eval}. Outcomes are classified so that a
+    legitimate "cannot compile" (no cover, AGU exhaustion, register
+    pressure) is distinguished from wrong code, and so that dynamic checker
+    trips ({!Sim.Mode_violation}, {!Sim.Exec_error}) and static-timing
+    drift surface as the distinct compiler bugs they are. *)
+
+type failure_kind =
+  | Miscompile  (** simulated outputs differ from the interpreter *)
+  | Timing_drift  (** static cycle count differs from the simulated one *)
+  | Mode_trip  (** {!Sim.Mode_violation}: mode minimization emitted a
+                    moded instruction without its mode set *)
+  | Exec_trip  (** {!Sim.Exec_error}: malformed code reached the simulator *)
+
+type verdict =
+  | Pass of { cycles : int; words : int }
+  | Skipped_contract
+      (** the program's exact-integer intermediates leave the word range, so
+          it is outside the fixed-point contract and has no single defined
+          answer across accumulator widths; not compiled *)
+  | Cannot_compile of string  (** {!Record.Pipeline.Error}; not a bug *)
+  | Failed of { kind : failure_kind; detail : string }
+
+val within_contract :
+  ?width:int ->
+  ?sat_headroom:bool ->
+  Ir.Prog.t ->
+  (string * int array) list ->
+  bool
+(** True when every value of the exact-integer evaluation — including the
+    value each statement stores — stays inside the signed [width]-bit
+    range, except, when [sat_headroom] (default true), values fed directly
+    to [sat]. Stored values must fit because store/load forwarding keeps
+    the wide register value where the memory round-trip would wrap it; sat
+    arguments lose their headroom under code generators that home every
+    interior node to memory (the conventional baseline's macro expansion),
+    so {!check} passes [sat_headroom:false] for
+    {!Record.Options.Naive_macro}. *)
+
+val check :
+  ?options:Record.Options.t -> Target.Machine.t -> Gen.case -> verdict
+(** One case on one machine under one option set (default
+    {!Record.Options.record_}). *)
+
+val is_failure : verdict -> bool
+
+(** {1 Campaigns} *)
+
+type combo = {
+  machine : Target.Machine.t;
+  options : Record.Options.t;
+  label : string;  (** e.g. ["tic25/record"] — stable across runs *)
+}
+
+val default_combos : unit -> combo list
+(** Every bundled machine (tic25, dsp56, risc32, asip) under both the RECORD
+    and the conventional option sets. *)
+
+val combos_for :
+  machines:Target.Machine.t list -> conventional:bool -> combo list
+
+type counterexample = {
+  case : Gen.case;  (** as generated — reproduce with its seed and index *)
+  combo : string;
+  verdict : verdict;
+  shrunk : Gen.case;  (** minimized by {!Shrink.minimize} *)
+  shrunk_verdict : verdict;
+}
+
+type report = {
+  seed : int;
+  count : int;
+  combos : string list;
+  pass : (string * int) list;  (** per combo *)
+  skipped : (string * int) list;
+      (** per combo: cases outside that combo's fixed-point contract *)
+  cannot_compile : (string * int) list;  (** per combo *)
+  counterexamples : counterexample list;
+}
+
+val run :
+  ?config:Gen.config ->
+  ?combos:combo list ->
+  ?shrink:bool ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** Generate [count] cases from [seed] and check each on every combo.
+    Failing cases are minimized with {!Shrink.minimize} (disable with
+    [~shrink:false]). Deterministic: same arguments, same report. *)
+
+val failures : report -> int
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_report : Format.formatter -> report -> unit

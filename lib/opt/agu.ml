@@ -1,4 +1,5 @@
 exception Too_many_streams of string
+exception Unsupported of string
 
 (* A stream is one (base, offset) walked by the loop's induction variable. *)
 module Stream = struct
@@ -33,10 +34,12 @@ let check_no_foreign_induct ivar (i : Target.Instr.t) =
   let check (r : Ir.Mref.t) =
     match r.index with
     | Ir.Mref.Induct { ivar = v; _ } when v <> ivar ->
-      invalid_arg
-        (Printf.sprintf
-           "Agu.lower: reference %s uses induction variable of an outer loop"
-           (Ir.Mref.to_string r))
+      raise
+        (Unsupported
+           (Printf.sprintf
+              "Agu.lower: reference %s uses induction variable of an outer \
+               loop"
+              (Ir.Mref.to_string r)))
     | Ir.Mref.Induct _ | Ir.Mref.Direct | Ir.Mref.Elem _ -> ()
   in
   let rec of_operand op =

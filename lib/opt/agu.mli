@@ -12,6 +12,12 @@ exception Too_many_streams of string
 (** Raised when a loop needs more address streams than the machine has
     address registers (one register is reserved for the loop counter). *)
 
+exception Unsupported of string
+(** Raised for program shapes the AGU stream model does not cover: a
+    reference whose induction variable belongs to an enclosing loop (the
+    stream would have to stand still across the inner loop). The pipeline
+    reports this as a clean "cannot compile". *)
+
 val lower_loop :
   Target.Machine.agu_support -> Target.Machine.ctx -> string
   -> Target.Asm.item list
@@ -19,8 +25,8 @@ val lower_loop :
 (** Rewrites the induction accesses of ONE loop body (for the given
     induction variable): returns the address-register initializations to
     place before the loop, the rewritten body, and the number of streams.
-    A reference whose induction variable belongs to an enclosing loop is
-    rejected with [Invalid_argument] (not needed by the DSPStone kernels).
+    @raise Unsupported for a reference whose induction variable belongs to
+    an enclosing loop (not needed by the DSPStone kernels).
     @raise Too_many_streams when the AGU cannot cover the loop. *)
 
 val lower :

@@ -18,7 +18,9 @@ let exec_instr machine st (i : Target.Instr.t) =
   | None -> (
     match machine.Target.Machine.exec st i with
     | () -> ()
-    | exception Invalid_argument msg -> raise (Exec_error msg)))
+    | exception Invalid_argument msg -> raise (Exec_error msg)));
+  (* post-modify addressing becomes visible at the instruction boundary *)
+  Target.Mstate.apply_updates st
 
 let run ?(width = 16) machine ~layout ~inputs (asm : Target.Asm.t) =
   let st =

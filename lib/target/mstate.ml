@@ -11,6 +11,8 @@ type t = {
   regs : (Instr.reg, int) Hashtbl.t;
   modes : (string, int) Hashtbl.t;
   mutable cycles : int;
+  mutable pending : (Instr.reg * int) list;
+      (* queued post-updates, newest first; see [apply_updates] *)
 }
 
 let create ?(width = 16) ~layout ~modes () =
@@ -22,6 +24,7 @@ let create ?(width = 16) ~layout ~modes () =
       regs = Hashtbl.create 17;
       modes = Hashtbl.create 7;
       cycles = 0;
+      pending = [];
     }
   in
   List.iter (fun (m, v) -> Hashtbl.replace t.modes m v) modes;
@@ -59,12 +62,22 @@ let cycles t = t.cycles
 let vreg_error () =
   invalid_arg "Mstate: virtual register reached the simulator"
 
+(* Post-modify addressing updates the address register AFTER the instruction
+   completes, like the AGU hardware: every operand of one instruction reads
+   the pre-instruction register state, even when two operands walk the same
+   register (e.g. squaring a stream element with [MAC *ar0, *ar0+]).
+   Operand reads queue their updates here; the simulator applies the queue
+   at each instruction boundary ([apply_updates]). *)
 let post_update t inner u =
   match (inner, u) with
   | _, Instr.No_update -> ()
-  | Instr.Reg r, Instr.Post_inc -> set_reg t r (get_reg t r + 1)
-  | Instr.Reg r, Instr.Post_dec -> set_reg t r (get_reg t r - 1)
+  | Instr.Reg r, Instr.Post_inc -> t.pending <- (r, 1) :: t.pending
+  | Instr.Reg r, Instr.Post_dec -> t.pending <- (r, -1) :: t.pending
   | _ -> vreg_error ()
+
+let apply_updates t =
+  List.iter (fun (r, d) -> set_reg t r (get_reg t r + d)) (List.rev t.pending);
+  t.pending <- []
 
 let rec read_operand t (o : Instr.operand) =
   match o with

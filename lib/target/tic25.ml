@@ -496,7 +496,10 @@ let exec st (i : Instr.t) =
     for _ = 1 to n do
       set acc (sat_if (get acc + get preg));
       set treg (rd 1);
-      set preg (get treg * rd 2)
+      set preg (get treg * rd 2);
+      (* RPT repeats the following word: each repetition is one instruction
+         execution, so its post-modifies land at the repetition boundary *)
+      Mstate.apply_updates st
     done
   | "SOVM" -> Mstate.set_mode st "ovm" 1
   | "ROVM" -> Mstate.set_mode st "ovm" 0

@@ -1,0 +1,137 @@
+(* Edge cases of the reference interpreter and the operator semantics:
+   width wrapping at stores, negative constants, shifts at and beyond the
+   word width, and the saturation boundaries.  These pin down exactly the
+   semantics the differential fuzzer holds every code generator to. *)
+
+let check_int = Alcotest.(check int)
+
+(* ---- Op.eval_unop / eval_binop ----------------------------------------- *)
+
+let test_sat_boundaries () =
+  let sat v = Ir.Op.eval_unop Ir.Op.Sat ~width:16 v in
+  check_int "max in range" 32767 (sat 32767);
+  check_int "min in range" (-32768) (sat (-32768));
+  check_int "max+1 clamps" 32767 (sat 32768);
+  check_int "min-1 clamps" (-32768) (sat (-32769));
+  check_int "far high" 32767 (sat 1_000_000);
+  check_int "far low" (-32768) (sat (-1_000_000));
+  check_int "zero" 0 (sat 0);
+  let sat8 v = Ir.Op.eval_unop Ir.Op.Sat ~width:8 v in
+  check_int "width 8 high" 127 (sat8 128);
+  check_int "width 8 low" (-128) (sat8 (-129))
+
+let test_unop_exact () =
+  (* Neg and Not are exact integers: negating the minimum word value does
+     not wrap until the result reaches a store *)
+  check_int "neg min word" 32768 (Ir.Op.eval_unop Ir.Op.Neg ~width:16 (-32768));
+  check_int "neg zero" 0 (Ir.Op.eval_unop Ir.Op.Neg ~width:16 0);
+  check_int "not zero" (-1) (Ir.Op.eval_unop Ir.Op.Not ~width:16 0);
+  check_int "not -1" 0 (Ir.Op.eval_unop Ir.Op.Not ~width:16 (-1))
+
+let test_shift_semantics () =
+  let shl = Ir.Op.eval_binop Ir.Op.Shl
+  and shr = Ir.Op.eval_binop Ir.Op.Shr in
+  check_int "shl exact past width" 65536 (shl 1 16);
+  check_int "shr is arithmetic" (-4) (shr (-7) 1);
+  check_int "shr -1 by width" (-1) (shr (-1) 16);
+  (* shift amounts clamp into [0, 62] instead of native-int undefined
+     behaviour *)
+  check_int "shl amount clamps to 62" (1 lsl 62) (shl 1 100);
+  check_int "negative amount clamps to 0" 5 (shl 5 (-3));
+  check_int "shr washes out positives" 0 (shr 12345 100);
+  check_int "shr keeps the sign" (-1) (shr (-99) 100)
+
+(* ---- Eval.wrap ---------------------------------------------------------- *)
+
+let test_wrap () =
+  let w = Ir.Eval.wrap ~width:16 in
+  check_int "identity" 1234 (w 1234);
+  check_int "max" 32767 (w 32767);
+  check_int "min" (-32768) (w (-32768));
+  check_int "max+1" (-32768) (w 32768);
+  check_int "min-1" 32767 (w (-32769));
+  check_int "full circle" 0 (w 65536);
+  check_int "40000" (40000 - 65536) (w 40000);
+  check_int "width 8" (-128) (Ir.Eval.wrap ~width:8 128)
+
+(* ---- whole-program semantics ------------------------------------------- *)
+
+let prog items =
+  Ir.Prog.make ~name:"t"
+    ~decls:
+      [
+        Ir.Prog.scalar_decl ~storage:Ir.Prog.Input "a";
+        Ir.Prog.scalar_decl ~storage:Ir.Prog.Input "b";
+        Ir.Prog.scalar_decl ~storage:Ir.Prog.Output "u";
+      ]
+    items
+
+let run ?(a = 0) ?(b = 0) items =
+  let p = prog items in
+  (match Ir.Prog.validate p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match
+    Ir.Eval.run_with_inputs ~width:16 p [ ("a", [| a |]); ("b", [| b |]) ]
+  with
+  | [ ("u", [| v |]) ] -> v
+  | _ -> Alcotest.fail "expected a single scalar output"
+
+let u = Ir.Mref.scalar "u"
+
+let test_store_wraps () =
+  let v = run ~a:20000 ~b:20000 [ Ir.Prog.assign u Ir.Tree.(var "a" + var "b") ] in
+  check_int "sum wraps at the store" (40000 - 65536) v
+
+let test_intermediate_exact () =
+  (* a*b = 32768 exceeds the word range but only the shifted result is
+     stored: intermediates are exact, like a wide accumulator *)
+  let v =
+    run ~a:16384 ~b:2
+      [
+        Ir.Prog.assign u
+          (Ir.Tree.Binop (Ir.Op.Shr, Ir.Tree.(var "a" * var "b"), Ir.Tree.const 1));
+      ]
+  in
+  check_int "wide intermediate survives" 16384 v
+
+let test_negative_constant_underflow () =
+  let v =
+    run [ Ir.Prog.assign u Ir.Tree.(const (-32768) - const 1) ] in
+  check_int "min-1 wraps at the store" 32767 v
+
+let test_shift_by_width_wraps () =
+  let v =
+    run
+      [
+        Ir.Prog.assign u
+          (Ir.Tree.Binop (Ir.Op.Shl, Ir.Tree.const 1, Ir.Tree.const 16));
+      ]
+  in
+  check_int "1 shl 16 wraps to 0" 0 v
+
+let test_sat_program () =
+  let body = [ Ir.Prog.assign u Ir.Tree.(sat (var "a" + var "b")) ] in
+  check_int "saturates high" 32767 (run ~a:20000 ~b:20000 body);
+  check_int "saturates low" (-32768) (run ~a:(-20000) ~b:(-20000) body);
+  check_int "identity in range" 100 (run ~a:60 ~b:40 body);
+  let v = run [ Ir.Prog.assign u Ir.Tree.(sat (neg (const (-32768)))) ] in
+  check_int "sat(neg(min)) clamps" 32767 v
+
+let suites =
+  [
+    ( "ir.eval.edges",
+      [
+        Alcotest.test_case "saturation boundaries" `Quick test_sat_boundaries;
+        Alcotest.test_case "unops are exact" `Quick test_unop_exact;
+        Alcotest.test_case "shift semantics" `Quick test_shift_semantics;
+        Alcotest.test_case "two's-complement wrap" `Quick test_wrap;
+        Alcotest.test_case "store wraps" `Quick test_store_wraps;
+        Alcotest.test_case "intermediates exact" `Quick test_intermediate_exact;
+        Alcotest.test_case "negative constant underflow" `Quick
+          test_negative_constant_underflow;
+        Alcotest.test_case "shift by width wraps" `Quick
+          test_shift_by_width_wraps;
+        Alcotest.test_case "sat in programs" `Quick test_sat_program;
+      ] );
+  ]

@@ -1,0 +1,72 @@
+(* The simulator as dynamic checker, driven by hand-built assembly: an
+   instruction whose mode requirement is not met must abort the run with
+   [Sim.Mode_violation] instead of silently mis-executing, and malformed
+   code must surface as [Sim.Exec_error]. *)
+
+let layout = Target.Layout.make ~banks:[ "data" ] [ ("x", 1, "data") ]
+let machine = Target.Tic25.machine
+let dir_x = Target.Instr.Dir (Ir.Mref.scalar "x")
+let op i = Target.Asm.Op i
+let lack k = Target.Instr.make "LACK" ~operands:[ Target.Instr.Imm k ]
+let sovm = Target.Instr.make "SOVM" ~mode_set:("ovm", 1) ~funit:"ctl"
+let rovm = Target.Instr.make "ROVM" ~mode_set:("ovm", 0) ~funit:"ctl"
+
+(* NEG under OVM saturates; the moded variant declares that requirement *)
+let sat_neg = Target.Instr.make "NEG" ~mode_req:("ovm", 1)
+let neg = Target.Instr.make "NEG"
+let sacl = Target.Instr.make "SACL" ~operands:[ dir_x ] ~defs:[ dir_x ]
+
+let run items =
+  Sim.run machine ~layout ~inputs:[] (Target.Asm.make ~name:"hand" items)
+
+let result_x items =
+  match Target.Mstate.get_var (run items).Sim.state "x" with
+  | [| v |] -> v
+  | _ -> Alcotest.fail "x is a scalar"
+
+let test_mode_violation_fires () =
+  (* the machine resets with ovm=0, so the moded instruction must trip *)
+  Alcotest.check_raises "unmet mode requirement"
+    (Sim.Mode_violation "NEG requires ovm=1, machine has ovm=0") (fun () ->
+      ignore (run [ op (lack 1); op sat_neg; op sacl ]))
+
+let test_mode_set_satisfies () =
+  (* SOVM establishes the mode; neg(-32768) then saturates to 32767 *)
+  Alcotest.(check int)
+    "saturated under OVM" 32767
+    (result_x [ op (lack (-32768)); op sovm; op sat_neg; op sacl ])
+
+let test_mode_reset_trips_again () =
+  (* ROVM takes the mode away again: the moded instruction is back to
+     violating *)
+  Alcotest.check_raises "mode reset"
+    (Sim.Mode_violation "NEG requires ovm=1, machine has ovm=0") (fun () ->
+      ignore (run [ op sovm; op rovm; op (lack 1); op sat_neg ]))
+
+let test_unmoded_wraps_instead () =
+  (* the unmoded NEG runs in any mode; without OVM the accumulator holds
+     exact 32768 and the store wraps it *)
+  Alcotest.(check int)
+    "wrapped without OVM" (-32768)
+    (result_x [ op (lack (-32768)); op neg; op sacl ])
+
+let test_exec_error_on_unknown_opcode () =
+  Alcotest.check_raises "unknown opcode"
+    (Sim.Exec_error "tic25: cannot execute FROB") (fun () ->
+      ignore (run [ op (Target.Instr.make "FROB") ]))
+
+let suites =
+  [
+    ( "sim.checker",
+      [
+        Alcotest.test_case "mode violation fires" `Quick
+          test_mode_violation_fires;
+        Alcotest.test_case "mode set satisfies" `Quick test_mode_set_satisfies;
+        Alcotest.test_case "mode reset trips again" `Quick
+          test_mode_reset_trips_again;
+        Alcotest.test_case "unmoded wraps instead" `Quick
+          test_unmoded_wraps_instead;
+        Alcotest.test_case "exec error on unknown opcode" `Quick
+          test_exec_error_on_unknown_opcode;
+      ] );
+  ]

@@ -101,15 +101,18 @@ let test_mstate_postinc () =
   let ar = { Target.Instr.cls = "ar"; idx = 0 } in
   Target.Mstate.set_reg st ar 1;
   Target.Mstate.store st 1 42;
-  let v =
-    Target.Mstate.read_operand st
-      (Target.Instr.Ind (Target.Instr.Reg ar, Target.Instr.Post_inc, None))
-  in
+  let ind u = Target.Instr.Ind (Target.Instr.Reg ar, u, None) in
+  let v = Target.Mstate.read_operand st (ind Target.Instr.Post_inc) in
   Alcotest.(check int) "value" 42 v;
-  Alcotest.(check int) "incremented" 2 (Target.Mstate.get_reg st ar);
-  ignore
-    (Target.Mstate.read_operand st
-       (Target.Instr.Ind (Target.Instr.Reg ar, Target.Instr.Post_dec, None)));
+  (* post-modify is deferred to the instruction boundary: a second operand
+     of the same instruction still sees the pre-instruction register *)
+  Alcotest.(check int) "not yet applied" 1 (Target.Mstate.get_reg st ar);
+  Alcotest.(check int) "same addr within instr" 42
+    (Target.Mstate.read_operand st (ind Target.Instr.No_update));
+  Target.Mstate.apply_updates st;
+  Alcotest.(check int) "incremented at boundary" 2 (Target.Mstate.get_reg st ar);
+  ignore (Target.Mstate.read_operand st (ind Target.Instr.Post_dec));
+  Target.Mstate.apply_updates st;
   Alcotest.(check int) "decremented back" 1 (Target.Mstate.get_reg st ar)
 
 let test_mstate_adr_operand () =
