@@ -21,19 +21,56 @@ let section title =
 
 (* ---- Table 1: DSPStone code size relative to hand assembly -------------- *)
 
-let table1 () =
-  section "Table 1: size of compiled programs relative to assembly code (%)";
-  let rows = Dspstone.Suite.table1 () in
-  Format.printf "%a@." Dspstone.Suite.pp_table1 rows;
+(* The machine-readable twin of the Table 1 text output: every per-kernel
+   measurement plus the derived percentages, written as BENCH_table1.json so
+   the perf trajectory is diffable across PRs (EXPERIMENTS.md "JSON bench
+   artifacts"). *)
+let write_table1_json rows =
+  let row_json (r : Dspstone.Suite.row) =
+    Driver.Json.Obj
+      [
+        ("kernel", Driver.Json.String r.Dspstone.Suite.kernel);
+        ("hand_words", Driver.Json.Int r.hand_words);
+        ("conv_words", Driver.Json.Int r.conv_words);
+        ("record_words", Driver.Json.Int r.record_words);
+        ("hand_cycles", Driver.Json.Int r.hand_cycles);
+        ("conv_cycles", Driver.Json.Int r.conv_cycles);
+        ("record_cycles", Driver.Json.Int r.record_cycles);
+        ("conv_pct", Driver.Json.Int (Dspstone.Suite.conv_pct r));
+        ("record_pct", Driver.Json.Int (Dspstone.Suite.record_pct r));
+      ]
+  in
   let wins =
     List.length
       (List.filter
          (fun r -> Dspstone.Suite.record_pct r <= Dspstone.Suite.conv_pct r)
          rows)
   in
+  let doc =
+    Driver.Json.Obj
+      [
+        ("table", Driver.Json.String "table1");
+        ("machine", Driver.Json.String "tic25");
+        ("rows", Driver.Json.List (List.map row_json rows));
+        ("record_wins", Driver.Json.Int wins);
+        ("kernels", Driver.Json.Int (List.length rows));
+      ]
+  in
+  let oc = open_out "BENCH_table1.json" in
+  output_string oc (Driver.Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  wins
+
+let table1 () =
+  section "Table 1: size of compiled programs relative to assembly code (%)";
+  let rows = Dspstone.Suite.table1 () in
+  Format.printf "%a@." Dspstone.Suite.pp_table1 rows;
+  let wins = write_table1_json rows in
   Format.printf
-    "RECORD beats or matches the conventional compiler in %d/%d cases@.@."
+    "RECORD beats or matches the conventional compiler in %d/%d cases@."
     wins (List.length rows);
+  Format.printf "(rows written to BENCH_table1.json)@.@.";
   rows
 
 let extended_kernels () =

@@ -1,6 +1,8 @@
 (* Command-line driver for the RECORD reproduction.
 
      record compile FILE --target tic25 [--conventional] [--input x=1,2,3]
+                         [--json] [--cache-dir DIR]
+     record batch JOBS.json [--jobs N] [--timeout S] [-o OUT.json]
      record targets
      record rules --target dsp56
      record timing FILE --target tic25 [--deadline CYCLES]
@@ -11,13 +13,9 @@
 
 open Cmdliner
 
-let machines () =
-  [
-    Target.Tic25.machine;
-    Target.Dsp56.machine;
-    Target.Risc32.machine;
-    Target.Asip.machine Target.Asip.default;
-  ]
+(* Machine lookup is the driver registry's job — one copy, one error
+   message, shared by every subcommand. *)
+let find_machine = Driver.Registry.find_machine
 
 let netlists =
   [
@@ -25,15 +23,6 @@ let netlists =
     ("acc16_dualreg", Rtl.Samples.acc16_dualreg);
     ("mac16", Rtl.Samples.mac16);
   ]
-
-let find_machine name =
-  match List.find_opt (fun (m : Target.Machine.t) -> m.name = name) (machines ()) with
-  | Some m -> Ok m
-  | None ->
-    Error
-      (Printf.sprintf "unknown target %s (available: %s)" name
-         (String.concat ", "
-            (List.map (fun (m : Target.Machine.t) -> m.name) (machines ()))))
 
 let find_netlist name =
   match List.assoc_opt name netlists with
@@ -81,8 +70,23 @@ let machine_of target target_file =
     | exception Sys_error msg -> or_die (Error msg))
   | None -> or_die (find_machine target)
 
-let compile_cmd file target target_file conventional check inputs =
+(* Cache selection shared by [compile --json] and [batch]: an explicit
+   --cache-dir wins, --no-cache disables the disk tier entirely, and the
+   default is the persistent user cache. *)
+let cache_of ~no_cache ~cache_dir =
+  if no_cache then None
+  else
+    let dir =
+      match cache_dir with
+      | Some d -> d
+      | None -> Driver.Cache.default_dir ()
+    in
+    Some (Driver.Cache.create ~dir ())
+
+let compile_cmd file target target_file conventional check inputs json
+    no_cache cache_dir =
   let machine = machine_of target target_file in
+  let options_label = if conventional then "conventional" else "record" in
   let options =
     if conventional then Record.Options.conventional else Record.Options.record_
   in
@@ -92,33 +96,110 @@ let compile_cmd file target target_file conventional check inputs =
       or_die (Error (file ^ ": " ^ msg))
     | Sys_error msg -> or_die (Error msg)
   in
-  let compiled =
-    try Record.Pipeline.compile ~options machine prog with
+  let cache = cache_of ~no_cache ~cache_dir in
+  let outcome =
+    try Driver.Service.compile ?cache ~options machine prog with
     | Record.Pipeline.Error msg -> or_die (Error msg)
   in
-  Format.printf "%a@." Target.Asm.pp compiled.Record.Pipeline.asm;
-  Format.printf "; %d words, %d instructions@."
-    (Record.Pipeline.words compiled)
-    (Target.Asm.instr_count compiled.Record.Pipeline.asm);
-  if inputs <> [] then begin
-    let inputs = List.map (fun s -> or_die (parse_input s)) inputs in
-    let outputs, cycles = Record.Pipeline.execute compiled ~inputs in
-    List.iter
-      (fun (name, values) ->
-        Format.printf "%s = %s@." name
-          (String.concat ", " (Array.to_list (Array.map string_of_int values))))
-      outputs;
-    Format.printf "; %d cycles@." cycles;
-    if check then begin
-      let expected = Ir.Eval.run_with_inputs prog inputs in
-      let ok =
-        List.for_all (fun (n, v) -> List.assoc n outputs = v) expected
+  let compiled = outcome.Driver.Service.compiled in
+  let simulated =
+    if inputs = [] then None
+    else begin
+      let inputs = List.map (fun s -> or_die (parse_input s)) inputs in
+      let outputs, cycles = Record.Pipeline.execute compiled ~inputs in
+      let checked =
+        if not check then None
+        else
+          let expected = Ir.Eval.run_with_inputs prog inputs in
+          Some
+            (List.for_all (fun (n, v) -> List.assoc n outputs = v) expected)
       in
-      Format.printf "; check against reference interpreter: %s@."
-        (if ok then "PASS" else "FAIL");
-      if not ok then exit 2
+      Some (outputs, cycles, checked)
     end
+  in
+  if json then begin
+    let asm_text = Format.asprintf "%a" Target.Asm.pp compiled.Record.Pipeline.asm in
+    let sim_fields =
+      match simulated with
+      | None -> [ ("cycles", Driver.Json.Null); ("outputs", Driver.Json.Obj []) ]
+      | Some (outputs, cycles, checked) ->
+        [
+          ("cycles", Driver.Json.Int cycles);
+          ( "outputs",
+            Driver.Json.Obj
+              (List.map
+                 (fun (name, values) ->
+                   ( name,
+                     Driver.Json.List
+                       (List.map
+                          (fun v -> Driver.Json.Int v)
+                          (Array.to_list values)) ))
+                 outputs) );
+          ( "check",
+            match checked with
+            | None -> Driver.Json.Null
+            | Some ok -> Driver.Json.Bool ok );
+        ]
+    in
+    let doc =
+      Driver.Json.Obj
+        ([
+           ("protocol", Driver.Json.String "record-compile-1");
+           ("file", Driver.Json.String file);
+           ("target", Driver.Json.String machine.Target.Machine.name);
+           ("options", Driver.Json.String options_label);
+           ( "options_digest",
+             Driver.Json.String (Record.Options.digest options) );
+           ("key", Driver.Json.String outcome.Driver.Service.key);
+           ( "cache",
+             Driver.Json.String
+               (Driver.Service.provenance_name outcome.Driver.Service.provenance)
+           );
+           ("words", Driver.Json.Int (Record.Pipeline.words compiled));
+           ( "instrs",
+             Driver.Json.Int
+               (Target.Asm.instr_count compiled.Record.Pipeline.asm) );
+           ("asm", Driver.Json.String asm_text);
+           ("wall_ms", Driver.Json.Float outcome.Driver.Service.wall_ms);
+           ( "phase_ms",
+             Driver.Json.List
+               (List.map
+                  (fun (phase, ms) ->
+                    Driver.Json.Obj
+                      [
+                        ("phase", Driver.Json.String phase);
+                        ("ms", Driver.Json.Float ms);
+                      ])
+                  compiled.Record.Pipeline.phase_ms) );
+         ]
+        @ sim_fields)
+    in
+    print_endline (Driver.Json.to_string ~indent:true doc)
   end
+  else begin
+    Format.printf "%a@." Target.Asm.pp compiled.Record.Pipeline.asm;
+    Format.printf "; %d words, %d instructions@."
+      (Record.Pipeline.words compiled)
+      (Target.Asm.instr_count compiled.Record.Pipeline.asm);
+    match simulated with
+    | None -> ()
+    | Some (outputs, cycles, checked) ->
+      List.iter
+        (fun (name, values) ->
+          Format.printf "%s = %s@." name
+            (String.concat ", "
+               (Array.to_list (Array.map string_of_int values))))
+        outputs;
+      Format.printf "; %d cycles@." cycles;
+      (match checked with
+      | None -> ()
+      | Some ok ->
+        Format.printf "; check against reference interpreter: %s@."
+          (if ok then "PASS" else "FAIL"))
+  end;
+  match simulated with
+  | Some (_, _, Some false) -> exit 2
+  | Some _ | None -> ()
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DFL source file")
@@ -144,12 +225,27 @@ let inputs_arg =
   Arg.(value & opt_all string [] & info [ "input"; "i" ] ~docv:"NAME=V,V,..."
          ~doc:"Set an input variable and run the program on the simulator")
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the result as a record-compile-1 JSON document instead \
+               of a listing")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ]
+         ~doc:"Disable the compilation cache")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Directory of the persistent compilation cache (default \
+               ~/.cache/record)")
+
 let compile_t =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a DFL program")
     Term.(
       const compile_cmd $ file_arg $ target_arg $ target_file_arg
-      $ conventional_arg $ check_arg $ inputs_arg)
+      $ conventional_arg $ check_arg $ inputs_arg $ json_arg $ no_cache_arg
+      $ cache_dir_arg)
 
 (* ---- targets --------------------------------------------------------------- *)
 
@@ -160,7 +256,7 @@ let targets_cmd () =
       Format.printf "%-10s %-16s %s@." m.name
         (Target.Classify.corner_name m.classification)
         m.description)
-    (machines ());
+    (Driver.Registry.machines ());
   Format.printf "@.netlists (for 'record ise'): %s@."
     (String.concat ", " (List.map fst netlists))
 
@@ -335,7 +431,7 @@ let timing_t =
 let fuzz_cmd seed count max_size targets record_only no_shrink =
   let selected =
     match targets with
-    | [] -> machines ()
+    | [] -> Driver.Registry.machines ()
     | names -> List.map (fun n -> or_die (find_machine n)) names
   in
   let combos =
@@ -350,10 +446,11 @@ let fuzz_cmd seed count max_size targets record_only no_shrink =
     List.iter
       (fun (c : Fuzz.Oracle.counterexample) ->
         Format.printf
-          "reproduce: record fuzz --seed %d --count %d --max-size %d  # failing case %d on %s@."
+          "reproduce: record fuzz --seed %d --count %d --max-size %d  # failing case %d on %s, options %s@."
           c.Fuzz.Oracle.case.Fuzz.Gen.seed
           (c.Fuzz.Oracle.case.Fuzz.Gen.index + 1)
-          max_size c.Fuzz.Oracle.case.Fuzz.Gen.index c.Fuzz.Oracle.combo)
+          max_size c.Fuzz.Oracle.case.Fuzz.Gen.index c.Fuzz.Oracle.combo
+          c.Fuzz.Oracle.options_digest)
       report.Fuzz.Oracle.counterexamples;
     prerr_endline "record: fuzz found counterexamples";
     exit 1
@@ -397,6 +494,218 @@ let fuzz_t =
       const fuzz_cmd $ seed_arg $ count_arg $ max_size_arg $ fuzz_targets_arg
       $ record_only_arg $ no_shrink_arg)
 
+(* ---- batch ------------------------------------------------------------------- *)
+
+(* One entry of a jobs file (see README "Batch compilation"):
+     { "kernel": "fir" | "file": "path.dfl",
+       "target": "tic25", "options": "record" | "conventional",
+       "kind": "compile" | "simulate" | "timing",
+       "label": ..., "inputs": {"x": [1,2]}, "deadline": 200 }
+   Kernel jobs default to the kernel's bundled inputs and kind simulate;
+   file jobs default to kind compile. *)
+let job_of_json id j =
+  let ( let* ) = Result.bind in
+  let str_field name = Option.bind (Driver.Json.member name j) Driver.Json.to_string_lit in
+  let* source, prog, default_inputs, default_kind =
+    match (str_field "kernel", str_field "file") with
+    | Some k, None -> (
+      match Dspstone.Kernels.find k with
+      | kernel ->
+        Ok
+          ( "kernel " ^ k,
+            Dspstone.Kernels.prog kernel,
+            kernel.Dspstone.Kernels.inputs,
+            Driver.Job.Simulate )
+      | exception Not_found -> Error (Printf.sprintf "job %d: unknown kernel %s" id k))
+    | None, Some f -> (
+      match Dfl.Lower.source (read_file f) with
+      | prog -> Ok ("file " ^ f, prog, [], Driver.Job.Compile)
+      | exception (Dfl.Lexer.Error msg | Dfl.Parser.Error msg | Dfl.Lower.Error msg) ->
+        Error (Printf.sprintf "job %d: %s: %s" id f msg)
+      | exception Sys_error msg -> Error (Printf.sprintf "job %d: %s" id msg))
+    | Some _, Some _ -> Error (Printf.sprintf "job %d: both \"kernel\" and \"file\"" id)
+    | None, None -> Error (Printf.sprintf "job %d: needs \"kernel\" or \"file\"" id)
+  in
+  let target = Option.value (str_field "target") ~default:"tic25" in
+  let* options_label, options =
+    match Option.value (str_field "options") ~default:"record" with
+    | "record" -> Ok ("record", Record.Options.record_)
+    | "conventional" -> Ok ("conventional", Record.Options.conventional)
+    | other -> Error (Printf.sprintf "job %d: unknown options %S" id other)
+  in
+  let deadline = Option.bind (Driver.Json.member "deadline" j) Driver.Json.to_int in
+  let* kind =
+    match str_field "kind" with
+    | None -> Ok (if deadline <> None then Driver.Job.Timing { deadline } else default_kind)
+    | Some "compile" -> Ok Driver.Job.Compile
+    | Some "simulate" -> Ok Driver.Job.Simulate
+    | Some "timing" -> Ok (Driver.Job.Timing { deadline })
+    | Some other -> Error (Printf.sprintf "job %d: unknown kind %S" id other)
+  in
+  let* inputs =
+    match Driver.Json.member "inputs" j with
+    | None -> Ok default_inputs
+    | Some (Driver.Json.Obj fields) ->
+      List.fold_left
+        (fun acc (name, v) ->
+          let* acc = acc in
+          match
+            Option.map
+              (List.map Driver.Json.to_int)
+              (Driver.Json.to_list v)
+          with
+          | Some values when List.for_all Option.is_some values ->
+            Ok ((name, Array.of_list (List.map Option.get values)) :: acc)
+          | Some _ | None ->
+            Error (Printf.sprintf "job %d: input %s must be an integer array" id name))
+        (Ok []) fields
+      |> Result.map List.rev
+    | Some _ -> Error (Printf.sprintf "job %d: \"inputs\" must be an object" id)
+  in
+  Ok
+    (Driver.Job.make ~id ?label:(str_field "label") ~source ~target
+       ~options_label ~options ~inputs ~kind prog)
+
+let jobs_of_json doc =
+  let entries =
+    match doc with
+    | Driver.Json.List entries -> Ok entries
+    | Driver.Json.Obj _ -> (
+      match Driver.Json.member "jobs" doc with
+      | Some (Driver.Json.List entries) -> Ok entries
+      | Some _ | None -> Error "jobs file: expected a \"jobs\" array")
+    | _ -> Error "jobs file: expected an array or an object with \"jobs\""
+  in
+  Result.bind entries (fun entries ->
+      List.fold_left
+        (fun (acc : (Driver.Job.t list, string) result) (i, entry) ->
+          Result.bind acc (fun jobs ->
+              Result.map (fun j -> j :: jobs) (job_of_json i entry)))
+        (Ok [])
+        (List.mapi (fun i e -> (i, e)) entries)
+      |> Result.map List.rev)
+
+let pp_batch_status ppf (r : Driver.Job.result) =
+  match r.Driver.Job.status with
+  | Driver.Job.Done s ->
+    Format.fprintf ppf "done  %4d words%s  [%s, %.1f ms]" s.Driver.Job.words
+      (match s.Driver.Job.cycles with
+      | Some c -> Printf.sprintf ", %5d cycles" c
+      | None -> (
+        match s.Driver.Job.static_cycles with
+        | Some c -> Printf.sprintf ", %5d cycles (static)" c
+        | None -> ""))
+      (Driver.Service.provenance_name s.Driver.Job.cache)
+      s.Driver.Job.wall_ms
+  | Driver.Job.Unsupported msg -> Format.fprintf ppf "unsupported: %s" msg
+  | Driver.Job.Failed msg -> Format.fprintf ppf "FAILED %s" msg
+  | Driver.Job.Timed_out s -> Format.fprintf ppf "TIMEOUT after %.1f s" s
+  | Driver.Job.Crashed msg -> Format.fprintf ppf "CRASHED %s" msg
+
+let batch_cmd jobs_file jobs_n timeout no_cache cache_dir out json
+    deterministic require_hit_rate =
+  let doc =
+    match Driver.Json.of_string (read_file jobs_file) with
+    | Ok doc -> doc
+    | Error msg -> or_die (Error (jobs_file ^ ": " ^ msg))
+    | exception Sys_error msg -> or_die (Error msg)
+  in
+  let jobs = or_die (jobs_of_json doc) in
+  let cache = cache_of ~no_cache ~cache_dir in
+  let report = Driver.Batch.run ?jobs:jobs_n ?timeout ?cache jobs in
+  let results = report.Driver.Batch.results in
+  let doc =
+    Driver.Json.to_string ~indent:true
+      (Driver.Job.results_to_json ~deterministic ~jobs results)
+  in
+  (match out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc doc;
+    output_char oc '\n';
+    close_out oc
+  | None -> ());
+  if json && out = None then print_endline doc
+  else begin
+    List.iter
+      (fun (r : Driver.Job.result) ->
+        Format.printf "%-40s %a@." r.Driver.Job.label pp_batch_status r)
+      results;
+    let hits = Driver.Batch.hits report in
+    let completed = Driver.Batch.completed report in
+    Format.printf
+      "@.%d jobs, %d completed, %d cache hits; %d workers, %.1f ms@."
+      (List.length jobs) completed hits report.Driver.Batch.workers
+      report.Driver.Batch.wall_ms
+  end;
+  let failed =
+    List.exists
+      (fun (r : Driver.Job.result) ->
+        match r.Driver.Job.status with
+        (* A machine that legitimately cannot express a program is not a
+           batch failure, matching the fuzz oracle's Cannot_compile. *)
+        | Driver.Job.Done _ | Driver.Job.Unsupported _ -> false
+        | Driver.Job.Failed _ | Driver.Job.Timed_out _ | Driver.Job.Crashed _ ->
+          true)
+      results
+  in
+  (match require_hit_rate with
+  | None -> ()
+  | Some need ->
+    let completed = Driver.Batch.completed report in
+    let rate =
+      if completed = 0 then 0.0
+      else float_of_int (Driver.Batch.hits report) /. float_of_int completed
+    in
+    if rate < need then begin
+      prerr_endline
+        (Printf.sprintf "record: cache hit rate %.2f below required %.2f" rate
+           need);
+      exit 3
+    end);
+  if failed then exit 1
+
+let jobs_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"JOBS.json"
+         ~doc:"Jobs file (an array of job objects, or {\"jobs\": [...]})")
+
+let jobs_n_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker processes (default: CPU count)")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Per-job wall-clock timeout")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the JSON result document to FILE")
+
+let batch_json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Print the JSON result document to stdout instead of the text \
+               summary")
+
+let deterministic_arg =
+  Arg.(value & flag & info [ "deterministic" ]
+         ~doc:"Omit volatile fields (wall-clock times, phase traces, cache \
+               provenance) so repeated runs are byte-identical")
+
+let require_hit_rate_arg =
+  Arg.(value & opt (some float) None & info [ "require-hit-rate" ] ~docv:"R"
+         ~doc:"Exit 3 unless at least this fraction of completed jobs were \
+               cache hits (CI warm-cache assertion)")
+
+let batch_t =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Compile a JSON job list in parallel through the compilation \
+             cache (exit 1 on any failed job)")
+    Term.(
+      const batch_cmd $ jobs_file_arg $ jobs_n_arg $ timeout_arg
+      $ no_cache_arg $ cache_dir_arg $ out_arg $ batch_json_arg
+      $ deterministic_arg $ require_hit_rate_arg)
+
 (* ---- table1 ------------------------------------------------------------------ *)
 
 let table1_cmd () =
@@ -416,6 +725,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_t; targets_t; ise_t; selftest_t; table1_t; rules_t;
-            timing_t; asm_t; fuzz_t;
+            compile_t; batch_t; targets_t; ise_t; selftest_t; table1_t;
+            rules_t; timing_t; asm_t; fuzz_t;
           ]))

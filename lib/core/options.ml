@@ -47,3 +47,46 @@ let with_folding t =
   { t with algebra_rules = Ir.Algebra.Fold :: t.algebra_rules }
 
 let with_unrolling limit t = { t with unroll_limit = limit }
+
+(* ---- Stable fingerprint --------------------------------------------------- *)
+
+let selection_name = function
+  | Optimal_variants -> "optimal-variants"
+  | Optimal_single -> "optimal-single"
+  | Naive_macro -> "naive-macro"
+
+let agu_name = function
+  | Streams -> "streams"
+  | Materialize_ivar -> "materialize-ivar"
+
+let rule_name = function
+  | Ir.Algebra.Commute -> "commute"
+  | Ir.Algebra.Assoc -> "assoc"
+  | Ir.Algebra.Mul_to_shift -> "mul-to-shift"
+  | Ir.Algebra.Fold -> "fold"
+
+let mode_strategy_name = function
+  | Opt.Modeopt.Lazy -> "lazy"
+  | Opt.Modeopt.Naive -> "naive"
+
+(* Every field, by name, in declaration order.  This is both the
+   human-readable fingerprint (fuzz reproduce lines, JSON provenance) and
+   the cache-key substrate: two option records render equal exactly when
+   they are structurally equal, with no [Hashtbl.hash] anywhere near the
+   rule list. *)
+let to_string t =
+  String.concat ","
+    [
+      "selection=" ^ selection_name t.selection;
+      "variant-limit=" ^ string_of_int t.variant_limit;
+      "algebra=" ^ String.concat "+" (List.map rule_name t.algebra_rules);
+      "cse=" ^ string_of_bool t.cse;
+      "peephole=" ^ string_of_bool t.peephole;
+      "modes=" ^ mode_strategy_name t.mode_strategy;
+      "agu=" ^ agu_name t.agu;
+      "compaction=" ^ string_of_bool t.compaction;
+      "membank=" ^ string_of_bool t.membank;
+      "unroll=" ^ string_of_int t.unroll_limit;
+    ]
+
+let digest t = Digest.to_hex (Digest.string (to_string t))

@@ -51,3 +51,12 @@ val with_folding : t -> t
 
 val with_unrolling : int -> t -> t
 (** Ablation: fully unroll loops of at most the given trip count. *)
+
+val to_string : t -> string
+(** Renders every field by name, in declaration order — a stable structural
+    fingerprint: two option records render equal exactly when they are
+    structurally equal. Used verbatim in JSON provenance and (digested) as
+    part of the compilation-cache key and the fuzzer's reproduce lines. *)
+
+val digest : t -> string
+(** Hex MD5 of {!to_string}. *)

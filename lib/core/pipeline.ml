@@ -17,6 +17,9 @@ type compiled = {
   pool : (string * int) list;
       (** constant-pool cells and their load-time initial values *)
   stats : stats;
+  phase_ms : (string * float) list;
+      (** wall-clock trace spans, one per pipeline phase, in execution
+          order; the driver's JSON protocol surfaces them per job *)
 }
 
 (* ---- Source-level rewrites (flow graph phase) -------------------------- *)
@@ -353,10 +356,24 @@ let bank_word_ok layout instrs =
   || (!wildcards = 0 && List.length (List.sort_uniq compare banks) = List.length banks)
 
 let compile ?(options = Options.record_) machine (prog : Ir.Prog.t) =
-  (match Ir.Prog.validate prog with
-  | Ok () -> ()
-  | Error msg -> raise (Error ("invalid program: " ^ msg)));
-  let prog', _added = source_rewrite options prog in
+  (* Per-phase wall-clock spans, appended in execution order.  The spans are
+     part of {!compiled} so callers (the driver's batch scheduler, the JSON
+     protocol) can surface where compile time goes without re-instrumenting
+     the pipeline. *)
+  let spans = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    spans := (name, (Unix.gettimeofday () -. t0) *. 1000.0) :: !spans;
+    r
+  in
+  timed "validate" (fun () ->
+      match Ir.Prog.validate prog with
+      | Ok () -> ()
+      | Error msg -> raise (Error ("invalid program: " ^ msg)));
+  let prog', _added =
+    timed "source-rewrite" (fun () -> source_rewrite options prog)
+  in
   let matcher = Burg.Matcher.create machine.Target.Machine.grammar in
   let ctx = Target.Machine.create_ctx () in
   let stats =
@@ -369,47 +386,76 @@ let compile ?(options = Options.record_) machine (prog : Ir.Prog.t) =
         agu_streams = 0;
       }
   in
-  let items = lower machine matcher ctx options stats [] prog'.body in
-  check_no_induct items;
   let items =
-    if options.peephole then begin
-      let before = items in
-      let after = Opt.Peephole.run items in
-      stats :=
-        { !stats with peephole_removed = Opt.Peephole.removed ~before ~after };
-      after
-    end
+    timed "select-emit" (fun () ->
+        let items = lower machine matcher ctx options stats [] prog'.body in
+        check_no_induct items;
+        items)
+  in
+  let items =
+    if options.peephole then
+      timed "peephole" (fun () ->
+          let before = items in
+          let after = Opt.Peephole.run items in
+          stats :=
+            {
+              !stats with
+              peephole_removed = Opt.Peephole.removed ~before ~after;
+            };
+          after)
     else items
   in
-  let items = Opt.Modeopt.run ~strategy:options.mode_strategy machine items in
-  (match Opt.Modeopt.verify machine items with
-  | Ok () -> ()
-  | Error msg -> raise (Error ("mode verification failed: " ^ msg)));
-  stats := { !stats with mode_changes = Opt.Modeopt.changes_inserted items };
+  let items =
+    timed "modeopt" (fun () ->
+        let items =
+          Opt.Modeopt.run ~strategy:options.mode_strategy machine items
+        in
+        (match Opt.Modeopt.verify machine items with
+        | Ok () -> ()
+        | Error msg -> raise (Error ("mode verification failed: " ^ msg)));
+        stats :=
+          { !stats with mode_changes = Opt.Modeopt.changes_inserted items };
+        items)
+  in
   let asm = Target.Asm.make ~name:prog.name items in
   let asm =
-    try Opt.Regalloc.run ~ctx machine asm with
-    | Opt.Regalloc.Pressure msg -> raise (Error ("register pressure: " ^ msg))
+    timed "regalloc" (fun () ->
+        try Opt.Regalloc.run ~ctx machine asm with
+        | Opt.Regalloc.Pressure msg ->
+          raise (Error ("register pressure: " ^ msg)))
   in
-  let asm, scratch_decls = Opt.Scratchpack.run asm in
+  let asm, scratch_decls =
+    timed "scratchpack" (fun () -> Opt.Scratchpack.run asm)
+  in
   let pool = Target.Machine.const_cells ctx in
   let extra = scratch_decls @ List.map (fun (name, _) -> (name, 1)) pool in
   let layout =
-    let banks = machine.Target.Machine.banks in
-    match (options.membank, banks) with
-    | true, [ a; b ] ->
-      let weights = Opt.Membank.pair_weights prog in
-      let vars = List.map (fun (d : Ir.Prog.decl) -> d.name) prog'.decls in
-      let bank_of_var = Opt.Membank.assign ~banks:(a, b) ~weights ~vars in
-      Target.Layout.of_prog ~bank_of:bank_of_var ~banks prog' ~extra
-    | _, _ -> Target.Layout.of_prog ~banks prog' ~extra
+    timed "layout" (fun () ->
+        let banks = machine.Target.Machine.banks in
+        match (options.membank, banks) with
+        | true, [ a; b ] ->
+          let weights = Opt.Membank.pair_weights prog in
+          let vars = List.map (fun (d : Ir.Prog.decl) -> d.name) prog'.decls in
+          let bank_of_var = Opt.Membank.assign ~banks:(a, b) ~weights ~vars in
+          Target.Layout.of_prog ~bank_of:bank_of_var ~banks prog' ~extra
+        | _, _ -> Target.Layout.of_prog ~banks prog' ~extra)
   in
   let asm =
     if options.compaction then
-      Opt.Compaction.run ~word_ok:(bank_word_ok layout) machine asm
+      timed "compaction" (fun () ->
+          Opt.Compaction.run ~word_ok:(bank_word_ok layout) machine asm)
     else asm
   in
-  { machine; prog; options; asm; layout; pool; stats = !stats }
+  {
+    machine;
+    prog;
+    options;
+    asm;
+    layout;
+    pool;
+    stats = !stats;
+    phase_ms = List.rev !spans;
+  }
 
 let words c = Target.Asm.words c.asm
 

@@ -29,6 +29,9 @@ type compiled = {
       (** constant-pool cells with their load-time values, part of the
           program image the simulator initializes *)
   stats : stats;
+  phase_ms : (string * float) list;
+      (** wall-clock trace spans, one [(phase, milliseconds)] pair per
+          pipeline phase that ran, in execution order *)
 }
 
 val compile : ?options:Options.t -> Target.Machine.t -> Ir.Prog.t -> compiled

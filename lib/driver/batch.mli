@@ -1,0 +1,43 @@
+(** The parallel batch scheduler.
+
+    Fans a job list out across [Unix.fork] worker processes. Each worker
+    owns a deterministic slice of the jobs (round-robin by job id, so the
+    partition is independent of timing), runs them through {!Job.run}, and
+    streams marshalled results back over a pipe. The parent drains every
+    pipe, reaps the workers, and fills the gaps:
+
+    - a job that exceeds the per-job timeout is reported [Timed_out] by its
+      worker (an interval timer raises inside the worker, which survives
+      and moves on);
+    - a worker that dies (segfault, kill, uncaught exception) costs only
+      its unreported jobs, each marked [Crashed] — never the whole run;
+    - results are returned in job-id order whatever the completion
+      interleaving, so batch output is deterministic for any [jobs] count.
+
+    On platforms without [fork], or with [jobs = 1], the scheduler runs
+    sequentially in-process with identical semantics (including timeouts).
+
+    Workers inherit the parent's cache by [fork] snapshot; entries they
+    store reach other processes through the disk tier, and the parent's
+    in-memory tier is unaffected. *)
+
+type report = {
+  results : Job.result list;  (** in job-id order *)
+  workers : int;  (** worker processes actually used *)
+  wall_ms : float;
+}
+
+val default_jobs : unit -> int
+(** The machine's recommended parallelism
+    ([Domain.recommended_domain_count]). *)
+
+val run :
+  ?jobs:int -> ?timeout:float -> ?cache:Cache.t -> Job.t list -> report
+(** [jobs] defaults to {!default_jobs}; [timeout] (seconds) applies per
+    job, default none. *)
+
+val hits : report -> int
+(** Completed jobs served from the cache. *)
+
+val completed : report -> int
+(** Jobs with a [Done] status. *)

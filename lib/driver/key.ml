@@ -1,0 +1,52 @@
+let executable_salt =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some s -> s
+    | None ->
+      let s =
+        try Digest.to_hex (Digest.file Sys.executable_name)
+        with Sys_error _ -> "record-no-executable-digest"
+      in
+      memo := Some s;
+      s
+
+let machine_fingerprint (m : Target.Machine.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf m.name;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (string_of_int m.word_bits);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun b ->
+      Buffer.add_string buf b;
+      Buffer.add_char buf ',')
+    m.banks;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (mode, reset) ->
+      Buffer.add_string buf mode;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (string_of_int reset);
+      Buffer.add_char buf ',')
+    m.modes;
+  Buffer.add_char buf '\n';
+  (* The grammar and register-file printers render every rule, cost, and
+     register class; their output is a function of the structure alone, so
+     it doubles as a structural encoding. *)
+  Buffer.add_string buf (Format.asprintf "%a" Burg.Grammar.pp m.grammar);
+  Buffer.add_string buf (Format.asprintf "%a" Target.Regfile.pp m.regfile);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let make ?salt ~machine ~options prog =
+  let salt = match salt with Some s -> s | None -> executable_salt () in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "record-cache-v1\n";
+  Buffer.add_string buf salt;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (machine_fingerprint machine);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Record.Options.to_string options);
+  Buffer.add_char buf '\n';
+  Ir.Prog.fold_digest buf prog;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

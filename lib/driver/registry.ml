@@ -1,0 +1,19 @@
+let machines () =
+  [
+    Target.Tic25.machine;
+    Target.Dsp56.machine;
+    Target.Risc32.machine;
+    Target.Asip.machine Target.Asip.default;
+  ]
+
+let names () = List.map (fun (m : Target.Machine.t) -> m.name) (machines ())
+
+let find_machine name =
+  match
+    List.find_opt (fun (m : Target.Machine.t) -> m.name = name) (machines ())
+  with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf "unknown target %s (available: %s)" name
+         (String.concat ", " (names ())))

@@ -1,0 +1,15 @@
+(** The bundled-target registry.
+
+    One authority for name → machine resolution, shared by every CLI
+    subcommand, the batch scheduler, and the fuzzer's campaign setup —
+    previously each subcommand carried its own copy of this lookup. *)
+
+val machines : unit -> Target.Machine.t list
+(** The bundled machines: tic25, dsp56, risc32, and the default-parameter
+    asip. Rebuilt per call — machine values carry mutable emission state
+    in closures, so sharing one list across compilations is not assumed. *)
+
+val names : unit -> string list
+
+val find_machine : string -> (Target.Machine.t, string) result
+(** [Error] names the unknown target and lists the available ones. *)

@@ -1,0 +1,33 @@
+(** The compilation service: {!Record.Pipeline.compile} behind the cache.
+
+    Every consumer that used to call the pipeline directly in a loop — the
+    batch scheduler, the fuzzer's oracle, the CLI — goes through here to
+    get content-addressed reuse: the same (program, machine, options)
+    triple compiles once per cache lifetime. *)
+
+type provenance = Memory_hit | Disk_hit | Miss
+
+val provenance_name : provenance -> string
+(** ["memory-hit"], ["disk-hit"], ["miss"]. *)
+
+val is_hit : provenance -> bool
+
+type outcome = {
+  compiled : Record.Pipeline.compiled;
+  provenance : provenance;
+  key : string;
+  wall_ms : float;  (** lookup + (on miss) compile + store *)
+}
+
+val compile :
+  ?cache:Cache.t ->
+  ?salt:string ->
+  ?options:Record.Options.t ->
+  Target.Machine.t ->
+  Ir.Prog.t ->
+  outcome
+(** Compile through the cache (no [cache] means a plain pipeline run,
+    reported as a miss). On a hit the pipeline does not run; the compiled
+    value is rebuilt from the cached entry, with the entry's original
+    phase trace, so hit and miss results are structurally identical.
+    @raise Record.Pipeline.Error as the pipeline does. *)

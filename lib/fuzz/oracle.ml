@@ -94,7 +94,7 @@ let within_contract ?(width = 16) ?(sat_headroom = true) (prog : Ir.Prog.t)
 let array_to_string vs =
   "[" ^ String.concat ", " (Array.to_list (Array.map string_of_int vs)) ^ "]"
 
-let check ?(options = Record.Options.record_) machine (case : Gen.case) =
+let check ?cache ?(options = Record.Options.record_) machine (case : Gen.case) =
   let width = machine.Target.Machine.word_bits in
   let sat_headroom =
     match options.Record.Options.selection with
@@ -104,7 +104,14 @@ let check ?(options = Record.Options.record_) machine (case : Gen.case) =
   if not (within_contract ~width ~sat_headroom case.Gen.prog case.Gen.inputs)
   then Skipped_contract
   else
-    match Record.Pipeline.compile ~options machine case.Gen.prog with
+    (* Compile through the driver's cache: a campaign re-checks each case
+       on up to 8 machine×option combos and recompiles the surviving
+       program once more per shrinking step, so the shrink loop and the
+       final shrunk-verdict recompile are cache hits. *)
+    match
+      (Driver.Service.compile ?cache ~options machine case.Gen.prog)
+        .Driver.Service.compiled
+    with
     | exception Record.Pipeline.Error msg -> Cannot_compile msg
     | compiled -> (
       match Record.Pipeline.execute compiled ~inputs:case.Gen.inputs with
@@ -191,6 +198,7 @@ let default_combos () = combos_for ~machines:(bundled ()) ~conventional:true
 type counterexample = {
   case : Gen.case;
   combo : string;
+  options_digest : string;
   verdict : verdict;
   shrunk : Gen.case;
   shrunk_verdict : verdict;
@@ -211,26 +219,37 @@ let run ?(config = Gen.default) ?(combos = default_combos ()) ?(shrink = true)
   let counter () = List.map (fun c -> (c.label, ref 0)) combos in
   let pass = counter () and skipped = counter () and cannot = counter () in
   let cexs = ref [] in
+  (* One memory-tier cache for the whole campaign: shrink candidates that
+     recur and the post-shrink verdict recompile hit instead of re-running
+     the pipeline. *)
+  let cache = Driver.Cache.create ~memory_slots:512 () in
   List.iter
     (fun (case : Gen.case) ->
       List.iter
         (fun combo ->
-          match check ~options:combo.options combo.machine case with
+          match check ~cache ~options:combo.options combo.machine case with
           | Pass _ -> incr (List.assoc combo.label pass)
           | Skipped_contract -> incr (List.assoc combo.label skipped)
           | Cannot_compile _ -> incr (List.assoc combo.label cannot)
           | Failed _ as verdict ->
             let still_fails c =
-              is_failure (check ~options:combo.options combo.machine c)
+              is_failure (check ~cache ~options:combo.options combo.machine c)
             in
             let shrunk =
               if shrink then Shrink.minimize ~still_fails case else case
             in
             let shrunk_verdict =
-              check ~options:combo.options combo.machine shrunk
+              check ~cache ~options:combo.options combo.machine shrunk
             in
             cexs :=
-              { case; combo = combo.label; verdict; shrunk; shrunk_verdict }
+              {
+                case;
+                combo = combo.label;
+                options_digest = Record.Options.digest combo.options;
+                verdict;
+                shrunk;
+                shrunk_verdict;
+              }
               :: !cexs)
         combos)
     (Gen.cases ~config ~seed ~count ());
@@ -270,11 +289,11 @@ let pp_inputs ppf inputs =
 
 let pp_counterexample ppf cex =
   Format.fprintf ppf
-    "@[<v>counterexample on %s (seed %d, case %d): %a@,\
+    "@[<v>counterexample on %s (seed %d, case %d, options %s): %a@,\
      shrunk to: %a@,%a@,shrunk inputs:@,%a@]"
-    cex.combo cex.case.Gen.seed cex.case.Gen.index pp_verdict cex.verdict
-    pp_verdict cex.shrunk_verdict Ir.Prog.pp cex.shrunk.Gen.prog pp_inputs
-    cex.shrunk.Gen.inputs
+    cex.combo cex.case.Gen.seed cex.case.Gen.index cex.options_digest
+    pp_verdict cex.verdict pp_verdict cex.shrunk_verdict Ir.Prog.pp
+    cex.shrunk.Gen.prog pp_inputs cex.shrunk.Gen.inputs
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>fuzz campaign: seed %d, %d programs, %d targets@,"

@@ -41,9 +41,16 @@ val within_contract :
     {!Record.Options.Naive_macro}. *)
 
 val check :
-  ?options:Record.Options.t -> Target.Machine.t -> Gen.case -> verdict
+  ?cache:Driver.Cache.t ->
+  ?options:Record.Options.t ->
+  Target.Machine.t ->
+  Gen.case ->
+  verdict
 (** One case on one machine under one option set (default
-    {!Record.Options.record_}). *)
+    {!Record.Options.record_}). With [cache], compilation goes through
+    {!Driver.Service.compile}, so repeated checks of one program (the
+    shrink loop, the post-shrink verdict) reuse the cached pipeline
+    output. *)
 
 val is_failure : verdict -> bool
 
@@ -65,6 +72,10 @@ val combos_for :
 type counterexample = {
   case : Gen.case;  (** as generated — reproduce with its seed and index *)
   combo : string;
+  options_digest : string;
+      (** {!Record.Options.digest} of the failing option set, so a
+          reproduce line pins the exact configuration, not just its
+          label *)
   verdict : verdict;
   shrunk : Gen.case;  (** minimized by {!Shrink.minimize} *)
   shrunk_verdict : verdict;

@@ -134,3 +134,82 @@ let pp ppf prog =
   in
   List.iter (pp_item "  ") prog.body;
   fprintf ppf "@]"
+
+(* ---- Structural digest --------------------------------------------------- *)
+
+(* A stable content fingerprint: every field of every node is folded into a
+   buffer with explicit tags and separators, so two programs digest equal
+   exactly when they are structurally equal.  Nothing here depends on
+   [Hashtbl.hash] (unstable across compiler versions and unsound on
+   functional values) or on pretty-printer output (which may evolve for
+   human readers without meaning a semantic change). *)
+let fold_digest buf prog =
+  let str s =
+    (* Length-prefixed, so "ab"^"c" and "a"^"bc" cannot collide. *)
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let int k =
+    Buffer.add_string buf (string_of_int k);
+    Buffer.add_char buf ';'
+  in
+  let mref (r : Mref.t) =
+    str r.base;
+    match r.index with
+    | Mref.Direct -> Buffer.add_char buf 'D'
+    | Mref.Elem k ->
+      Buffer.add_char buf 'E';
+      int k
+    | Mref.Induct { ivar; offset; step } ->
+      Buffer.add_char buf 'I';
+      str ivar;
+      int offset;
+      int step
+  in
+  let rec tree t =
+    match t with
+    | Tree.Const k ->
+      Buffer.add_char buf 'c';
+      int k
+    | Tree.Ref r ->
+      Buffer.add_char buf 'r';
+      mref r
+    | Tree.Unop (op, a) ->
+      Buffer.add_char buf 'u';
+      str (Op.unop_name op);
+      tree a
+    | Tree.Binop (op, a, b) ->
+      Buffer.add_char buf 'b';
+      str (Op.binop_name op);
+      tree a;
+      tree b
+  in
+  let rec item it =
+    match it with
+    | Stmt { dst; src } ->
+      Buffer.add_char buf '=';
+      mref dst;
+      tree src
+    | Loop { ivar; count; body } ->
+      Buffer.add_char buf 'L';
+      str ivar;
+      int count;
+      List.iter item body;
+      Buffer.add_char buf 'l'
+  in
+  str prog.name;
+  List.iter
+    (fun (d : decl) ->
+      Buffer.add_char buf 'd';
+      str d.name;
+      int d.size;
+      Buffer.add_char buf
+        (match d.storage with Input -> 'i' | Output -> 'o' | Temp -> 't'))
+    prog.decls;
+  List.iter item prog.body
+
+let digest prog =
+  let buf = Buffer.create 256 in
+  fold_digest buf prog;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

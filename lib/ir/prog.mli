@@ -45,3 +45,13 @@ val stmts : t -> stmt list
 
 val find_decl : t -> string -> decl option
 val pp : Format.formatter -> t -> unit
+
+val fold_digest : Buffer.t -> t -> unit
+(** Folds a stable, collision-resistant structural encoding of the program
+    into [buf]: every field of every declaration, statement, and tree node,
+    tagged and length-prefixed. Two programs fold equal content exactly when
+    they are structurally equal. This is the cache-key substrate — it never
+    touches [Hashtbl.hash] or printer output. *)
+
+val digest : t -> string
+(** Hex MD5 of the {!fold_digest} encoding. *)

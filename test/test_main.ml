@@ -4,4 +4,5 @@ let () =
     @ Test_opt.suites @ Test_target.suites @ Test_target_props.suites
     @ Test_rtl_ise.suites
     @ Test_mdl.suites @ Test_selftest.suites @ Test_dspstone.suites @ Test_timing.suites
-    @ Test_pipeline.suites @ Test_sim.suites @ Test_fuzz.suites)
+    @ Test_pipeline.suites @ Test_sim.suites @ Test_fuzz.suites
+    @ Test_driver.suites)
