@@ -453,6 +453,177 @@ let n_sweep () =
   Format.printf "@."
 
 
+(* ---- Selection sweep: variant limit vs select-emit cost ------------------ *)
+
+(* Sweeps the variant limit over the Table-1 kernels and measures what the
+   hash-consed IR and the shared DP table buy: wall-clock of the select-emit
+   phase (cold = fresh matcher per pass, warm = matcher kept across passes)
+   plus the matcher/variant counters, written as BENCH_selection.json.  The
+   seed_baseline entry is the pre-hashcons compiler measured the same way
+   (mean select-emit per Table-1 pass at limit 64), kept so the artifact
+   documents the claim: limit 512 with sharing beats limit 64 without it. *)
+
+let seed_baseline_limit = 64
+let seed_baseline_ms = 1.370
+
+let select_emit_ms (c : Record.Pipeline.compiled) =
+  match List.assoc_opt "select-emit" c.Record.Pipeline.phase_ms with
+  | Some ms -> ms
+  | None -> 0.0
+
+let add_sel (a : Record.Pipeline.selection_stats)
+    (b : Record.Pipeline.selection_stats) =
+  Record.Pipeline.
+    {
+      sel_trees = a.sel_trees + b.sel_trees;
+      sel_variants = a.sel_variants + b.sel_variants;
+      sel_variants_pruned = a.sel_variants_pruned + b.sel_variants_pruned;
+      sel_variant_dedup = a.sel_variant_dedup + b.sel_variant_dedup;
+      sel_variant_nodes = a.sel_variant_nodes + b.sel_variant_nodes;
+      sel_nodes_labelled = a.sel_nodes_labelled + b.sel_nodes_labelled;
+      sel_memo_hits = a.sel_memo_hits + b.sel_memo_hits;
+    }
+
+type sweep_row = {
+  limit : int;
+  cold_ms : float;  (* mean select-emit per pass, fresh matcher per pass *)
+  warm_ms : float;  (* same, matcher shared across passes *)
+  words : int;  (* summed code size over the kernels *)
+  sel : Record.Pipeline.selection_stats;  (* one cold pass, summed *)
+}
+
+let selection_sweep () =
+  section "Selection sweep: variant limit vs select-emit cost (tic25, Table 1)";
+  let machine = Target.Tic25.machine in
+  let progs = List.map Dspstone.Kernels.prog Dspstone.Kernels.all in
+  let reps = 50 in
+  let measure limit =
+    let options =
+      { Record.Options.record_ with Record.Options.variant_limit = limit }
+    in
+    let pass matcher =
+      List.fold_left
+        (fun (ms, words, sel) prog ->
+          let c = Record.Pipeline.compile ~options ~matcher machine prog in
+          ( ms +. select_emit_ms c,
+            words + Record.Pipeline.words c,
+            add_sel sel c.Record.Pipeline.selection ))
+        (0.0, 0, Record.Pipeline.no_selection)
+        progs
+    in
+    let fresh () = Burg.Matcher.create machine.Target.Machine.grammar in
+    (* Untimed warm-up: populates the process-global hash-cons table, which
+       the pre-hashcons baseline had no analogue of, so cold passes measure
+       matcher labelling, not tree interning. *)
+    let _, words, sel = pass (fresh ()) in
+    let mean times =
+      Array.fold_left ( +. ) 0.0 times /. float (Array.length times)
+    in
+    let cold_ms =
+      mean
+        (Array.init reps (fun _ ->
+             let ms, _, _ = pass (fresh ()) in
+             ms))
+    in
+    let warm_matcher = fresh () in
+    ignore (pass warm_matcher);
+    let warm_ms =
+      mean
+        (Array.init reps (fun _ ->
+             let ms, _, _ = pass warm_matcher in
+             ms))
+    in
+    { limit; cold_ms; warm_ms; words; sel }
+  in
+  let rows = List.map measure [ 64; 128; 256; 512 ] in
+  Format.printf "%-6s %10s %10s %7s %9s %8s %9s %10s %10s@." "limit"
+    "cold ms" "warm ms" "words" "variants" "pruned" "var nodes" "labelled"
+    "memo hits";
+  List.iter
+    (fun r ->
+      Format.printf "%-6d %10.4f %10.4f %7d %9d %8d %9d %10d %10d@." r.limit
+        r.cold_ms r.warm_ms r.words r.sel.Record.Pipeline.sel_variants
+        r.sel.Record.Pipeline.sel_variants_pruned
+        r.sel.Record.Pipeline.sel_variant_nodes
+        r.sel.Record.Pipeline.sel_nodes_labelled
+        r.sel.Record.Pipeline.sel_memo_hits)
+    rows;
+  Format.printf
+    "seed baseline (pre-hashcons, limit %d): %.3f ms select-emit per pass@."
+    seed_baseline_limit seed_baseline_ms;
+  (match List.find_opt (fun r -> r.limit = 512) rows with
+  | Some r when r.cold_ms < seed_baseline_ms ->
+    Format.printf
+      "limit 512 with sharing is %.2fx the pre-hashcons limit-64 cost@."
+      (r.cold_ms /. seed_baseline_ms)
+  | Some _ | None -> ());
+  let row_json r =
+    Driver.Json.Obj
+      [
+        ("variant_limit", Driver.Json.Int r.limit);
+        ("cold_select_ms", Driver.Json.Float r.cold_ms);
+        ("warm_select_ms", Driver.Json.Float r.warm_ms);
+        ("words", Driver.Json.Int r.words);
+        ("selection", Driver.Job.selection_to_json r.sel);
+      ]
+  in
+  let doc =
+    Driver.Json.Obj
+      [
+        ("table", Driver.Json.String "selection-sweep");
+        ("machine", Driver.Json.String "tic25");
+        ("kernels", Driver.Json.Int (List.length progs));
+        ("reps", Driver.Json.Int reps);
+        ("rows", Driver.Json.List (List.map row_json rows));
+        ( "seed_baseline",
+          Driver.Json.Obj
+            [
+              ("variant_limit", Driver.Json.Int seed_baseline_limit);
+              ("select_emit_ms", Driver.Json.Float seed_baseline_ms);
+              ( "note",
+                Driver.Json.String
+                  "pre-hashcons seed, mean select-emit per Table-1 pass over \
+                   50 reps, measured back-to-back with the post-change build \
+                   (lower of two paired runs)" );
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_selection.json" in
+  output_string oc (Driver.Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "(rows written to BENCH_selection.json)@.@.";
+  rows
+
+(* Counter-based budget for CI (wall-clock is too noisy for shared runners):
+   with the shared DP table, labelling work must grow sub-linearly in the
+   total size of the variant space, and the memo must actually fire. *)
+let assert_sharing rows =
+  let fail = ref false in
+  let check msg ok =
+    Format.printf "%-64s %s@." msg (if ok then "OK" else "FAIL");
+    if not ok then fail := true
+  in
+  let row limit = List.find (fun r -> r.limit = limit) rows in
+  let r256 = row 256 in
+  let s = r256.sel in
+  check "limit 256: shared DP table fires (memo_hits > 0)"
+    (s.Record.Pipeline.sel_memo_hits > 0);
+  check "limit 256: labelling sub-linear (nodes_labelled * 4 <= variant_nodes)"
+    (s.Record.Pipeline.sel_nodes_labelled * 4
+    <= s.Record.Pipeline.sel_variant_nodes);
+  let r64 = row 64 and r512 = row 512 in
+  check "variant sets prefix-stable (variants at 512 >= at 64)"
+    (r512.sel.Record.Pipeline.sel_variants
+    >= r64.sel.Record.Pipeline.sel_variants);
+  check "covers never degrade (words at 512 <= words at 64)"
+    (r512.words <= r64.words);
+  if !fail then begin
+    Format.printf "selection sharing budget violated@.";
+    exit 1
+  end;
+  Format.printf "@."
+
 let selftest_report () =
   section "§4.5: self-test program generation and fault coverage";
   List.iter
@@ -540,26 +711,40 @@ let timing () =
 let () =
   (* --smoke: the assertion-bearing sections only (compile/validate every
      kernel, check static timing, classify the cube), skipping the sweeps
-     and the Bechamel wall-clock measurements; quick enough for CI. *)
-  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+     and the Bechamel wall-clock measurements; quick enough for CI.
+     --selection-sweep: only the variant-limit sweep (writes
+     BENCH_selection.json); with --assert-sharing the counter-based
+     sharing budget is enforced (exit 1 on violation). *)
+  let flag name = Array.exists (String.equal name) Sys.argv in
+  let smoke = flag "--smoke" in
+  let sweep_only = flag "--selection-sweep" in
+  let sharing = flag "--assert-sharing" in
   Format.printf
     "RECORD reproduction benchmarks (Marwedel, 'Code Generation for Core \
      Processors', DAC 1997)@.";
-  let rows = table1 () in
-  overhead_claim rows;
-  extended_kernels ();
-  static_timing ();
-  fig1 ();
-  if not smoke then begin
-    fig2_fig3 ();
-    fig45 ();
-    ablation_selection ();
-    ablation_unroll ();
-    ablation_modes ();
-    ablation_compaction ();
-    ablation_offset ();
-    asip_sweep ();
-    n_sweep ();
-    selftest_report ();
-    timing ()
+  if sweep_only then begin
+    let rows = selection_sweep () in
+    if sharing then assert_sharing rows
+  end
+  else begin
+    let rows = table1 () in
+    overhead_claim rows;
+    extended_kernels ();
+    static_timing ();
+    fig1 ();
+    if not smoke then begin
+      fig2_fig3 ();
+      fig45 ();
+      ablation_selection ();
+      ablation_unroll ();
+      ablation_modes ();
+      ablation_compaction ();
+      ablation_offset ();
+      asip_sweep ();
+      n_sweep ();
+      let sweep_rows = selection_sweep () in
+      if sharing then assert_sharing sweep_rows;
+      selftest_report ();
+      timing ()
+    end
   end

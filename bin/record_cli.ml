@@ -161,6 +161,8 @@ let compile_cmd file target target_file conventional check inputs json
                (Target.Asm.instr_count compiled.Record.Pipeline.asm) );
            ("asm", Driver.Json.String asm_text);
            ("wall_ms", Driver.Json.Float outcome.Driver.Service.wall_ms);
+           ( "selection",
+             Driver.Job.selection_to_json compiled.Record.Pipeline.selection );
            ( "phase_ms",
              Driver.Json.List
                (List.map

@@ -3,36 +3,87 @@ type entry = { cost : int; cover : Cover.t }
 (* Best derivation per nonterminal at one tree node. *)
 type labelling = (string, entry) Hashtbl.t
 
+type counters = { nodes_labelled : int; memo_hits : int }
+
+(* Root shape of a subject node: only base rules whose pattern root has the
+   same shape can match, so [compute] walks one bucket instead of the whole
+   rule list.  Nonterm-rooted patterns are chain rules and live elsewhere;
+   Const_any and Const_eq share the const bucket. *)
+type shape = S_const | S_ref | S_unop of Ir.Op.unop | S_binop of Ir.Op.binop
+
+let shape_of_pattern = function
+  | Pattern.Const_any | Pattern.Const_eq _ -> Some S_const
+  | Pattern.Ref_any -> Some S_ref
+  | Pattern.Unop (op, _) -> Some (S_unop op)
+  | Pattern.Binop (op, _, _) -> Some (S_binop op)
+  | Pattern.Nonterm _ -> None
+
+let shape_of_node = function
+  | Ir.Tree.Const _ -> S_const
+  | Ir.Tree.Ref _ -> S_ref
+  | Ir.Tree.Unop (op, _) -> S_unop op
+  | Ir.Tree.Binop (op, _, _) -> S_binop op
+
 type t = {
   grammar : Grammar.t;
-  base_rules : Rule.t list;  (* non-chain *)
+  (* Non-chain rules bucketed by root shape, original order within each
+     bucket (ties in [improve] keep the earlier rule, as with a flat
+     list). *)
+  base_by_shape : (shape, Rule.t list) Hashtbl.t;
   chain_rules : Rule.t list;
-  memo : (Ir.Tree.t, labelling) Hashtbl.t;
+  (* The DP table, keyed by hash-cons id: one entry per distinct subtree
+     structure ever labelled, shared across variants, trees, and (for a
+     long-lived matcher) whole compilation jobs.  An id key is O(1) to hash
+     and compare where the previous structural Tree.t key cost O(size) per
+     probe. *)
+  memo : (int, labelling) Hashtbl.t;
+  mutable nodes_labelled : int;
+  mutable memo_hits : int;
 }
 
 let create grammar =
   let base_rules, chain_rules =
     List.partition (fun r -> not (Rule.is_chain r)) grammar.Grammar.rules
   in
-  { grammar; base_rules; chain_rules; memo = Hashtbl.create 256 }
+  let base_by_shape = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Rule.t) ->
+      match shape_of_pattern r.pattern with
+      | None -> ()
+      | Some s ->
+        Hashtbl.replace base_by_shape s
+          (r :: (try Hashtbl.find base_by_shape s with Not_found -> [])))
+    (List.rev base_rules);
+  {
+    grammar;
+    base_by_shape;
+    chain_rules;
+    memo = Hashtbl.create 256;
+    nodes_labelled = 0;
+    memo_hits = 0;
+  }
 
 let grammar m = m.grammar
 
-(* Match a pattern against a subject tree. Returns the subtrees bound to the
-   pattern's nonterminal leaves, in left-to-right order, or None. *)
-let rec match_pattern p t =
-  match (p, t) with
-  | Pattern.Nonterm nt, _ -> Some [ (nt, t) ]
+let counters m = { nodes_labelled = m.nodes_labelled; memo_hits = m.memo_hits }
+
+(* Match a pattern against a subject handle — shapes via the canonical
+   node, descent via the child handles, so no tree is ever rebuilt or
+   hashed. Returns the handles bound to the pattern's nonterminal leaves,
+   in left-to-right order, or None. *)
+let rec match_pattern p (h : Ir.Hashcons.h) =
+  match (p, h.Ir.Hashcons.node) with
+  | Pattern.Nonterm nt, _ -> Some [ (nt, h) ]
   | Pattern.Const_any, Ir.Tree.Const _ -> Some []
   | Pattern.Const_eq k, Ir.Tree.Const k' -> if k = k' then Some [] else None
   | Pattern.Ref_any, Ir.Tree.Ref _ -> Some []
-  | Pattern.Unop (op, pa), Ir.Tree.Unop (op', a) when op = op' ->
-    match_pattern pa a
-  | Pattern.Binop (op, pa, pb), Ir.Tree.Binop (op', a, b) when op = op' -> (
-    match match_pattern pa a with
+  | Pattern.Unop (op, pa), Ir.Tree.Unop (op', _) when op = op' ->
+    match_pattern pa h.Ir.Hashcons.kids.(0)
+  | Pattern.Binop (op, pa, pb), Ir.Tree.Binop (op', _, _) when op = op' -> (
+    match match_pattern pa h.Ir.Hashcons.kids.(0) with
     | None -> None
     | Some la -> (
-      match match_pattern pb b with
+      match match_pattern pb h.Ir.Hashcons.kids.(1) with
       | None -> None
       | Some lb -> Some (la @ lb)))
   | ( ( Pattern.Const_any | Pattern.Const_eq _ | Pattern.Ref_any
@@ -48,18 +99,23 @@ let improve (lab : labelling) nt entry =
     Hashtbl.replace lab nt entry;
     true
 
-let rec labelling m t : labelling =
-  match Hashtbl.find_opt m.memo t with
-  | Some lab -> lab
+let rec labelling m (h : Ir.Hashcons.h) : labelling =
+  let key = h.Ir.Hashcons.id in
+  match Hashtbl.find_opt m.memo key with
+  | Some lab ->
+    m.memo_hits <- m.memo_hits + 1;
+    lab
   | None ->
-    let lab = compute m t in
-    Hashtbl.replace m.memo t lab;
+    m.nodes_labelled <- m.nodes_labelled + 1;
+    let lab = compute m h in
+    Hashtbl.replace m.memo key lab;
     lab
 
-and compute m t =
+and compute m (h : Ir.Hashcons.h) =
+  let t = h.Ir.Hashcons.node in
   let lab : labelling = Hashtbl.create 8 in
   let try_base (r : Rule.t) =
-    match match_pattern r.pattern t with
+    match match_pattern r.pattern h with
     | None -> ()
     | Some bindings ->
       let guard_ok =
@@ -82,7 +138,9 @@ and compute m t =
             (improve lab r.lhs { cost; cover = { Cover.rule = r; node = t; children } })
       end
   in
-  List.iter try_base m.base_rules;
+  (match Hashtbl.find_opt m.base_by_shape (shape_of_node t) with
+  | Some rules -> List.iter try_base rules
+  | None -> ());
   (* Chain-rule closure: relax until fixpoint. *)
   let changed = ref true in
   while !changed do
@@ -114,27 +172,37 @@ and compute m t =
   lab
 
 let label m t =
-  let lab = labelling m t in
+  let lab = labelling m (Ir.Hashcons.intern t) in
   Hashtbl.fold (fun nt e acc -> (nt, e.cost) :: acc) lab []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let best ?nt m t =
+let best_entry ?nt m h =
   let nt = Option.value ~default:m.grammar.Grammar.start nt in
-  let lab = labelling m t in
-  Option.map (fun e -> e.cover) (Hashtbl.find_opt lab nt)
+  Hashtbl.find_opt (labelling m h) nt
+
+let best_h ?nt m h = Option.map (fun e -> e.cover) (best_entry ?nt m h)
+
+let best ?nt m t = best_h ?nt m (Ir.Hashcons.intern t)
+
+let best_of_hvariants ?nt m hvariants =
+  (* Costs come from the DP entries — no [Cover.cost] walk per variant. *)
+  let consider acc h =
+    match best_entry ?nt m h with
+    | None -> acc
+    | Some e -> (
+      match acc with
+      | Some (_, best) when best.cost <= e.cost -> acc
+      | Some _ | None -> Some (h, e))
+  in
+  match List.fold_left consider None hvariants with
+  | None -> None
+  | Some (h, e) -> Some (h, e.cover)
 
 let best_of_variants ?nt m variants =
-  let consider acc v =
-    match best ?nt m v with
-    | None -> acc
-    | Some c -> (
-      let cost = Cover.cost c in
-      match acc with
-      | Some (_, _, best_cost) when best_cost <= cost -> acc
-      | Some _ | None -> Some (v, c, cost))
-  in
-  match List.fold_left consider None variants with
+  match
+    best_of_hvariants ?nt m (List.map Ir.Hashcons.intern variants)
+  with
   | None -> None
-  | Some (v, c, _) -> Some (v, c)
+  | Some (h, c) -> Some (Ir.Hashcons.node h, c)
 
 let clear m = Hashtbl.reset m.memo

@@ -3,13 +3,29 @@
     the cheapest derivation per nonterminal and extracts the optimal cover.
 
     A matcher memoizes labellings across calls, which is what makes matching
-    "each variant" of a tree cheap (§4.3.3). *)
+    "each variant" of a tree cheap (§4.3.3). The memo is keyed on hash-cons
+    ids ({!Ir.Hashcons}), so the DP table is shared across all variants of
+    all trees a matcher ever sees: a structurally repeated subtree is
+    labelled once per matcher lifetime, at O(1) lookup cost per node. A
+    matcher depends only on its grammar, never on program state, so one
+    long-lived matcher per target can serve any number of compilations
+    (which is how the driver's batch service uses it). *)
 
 type t
 
 val create : Grammar.t -> t
 
 val grammar : t -> Grammar.t
+
+type counters = {
+  nodes_labelled : int;
+      (** distinct subtrees labelled (DP-table entries computed) *)
+  memo_hits : int;  (** labellings served from the shared table *)
+}
+
+val counters : t -> counters
+(** Monotonic totals since [create]; snapshot before and after a
+    compilation to get per-run deltas. *)
 
 val label : t -> Ir.Tree.t -> (string * int) list
 (** Nonterminals derivable at the root with their minimal costs, sorted by
@@ -19,9 +35,19 @@ val best : ?nt:string -> t -> Ir.Tree.t -> Cover.t option
 (** Cheapest derivation of the tree to [nt] (default: the grammar's start
     nonterminal), or [None] when the tree cannot be covered. *)
 
+val best_h : ?nt:string -> t -> Ir.Hashcons.h -> Cover.t option
+(** [best] on an already-interned handle — the hot path: labelling
+    descends the handle DAG with O(1) id-keyed probes and never hashes a
+    tree. *)
+
 val best_of_variants : ?nt:string -> t -> Ir.Tree.t list -> (Ir.Tree.t * Cover.t) option
 (** The variant with the cheapest cover; ties break toward the earlier
     variant. [None] when no variant can be covered. *)
+
+val best_of_hvariants :
+  ?nt:string -> t -> Ir.Hashcons.h list -> (Ir.Hashcons.h * Cover.t) option
+(** [best_of_variants] on handles (as produced by
+    {!Ir.Algebra.hvariants}), skipping re-interning. *)
 
 val clear : t -> unit
 (** Drops the memo table (used by benchmarks to measure cold labelling). *)

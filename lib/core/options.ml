@@ -18,7 +18,11 @@ type t = {
 let record_ =
   {
     selection = Optimal_variants;
-    variant_limit = 64;
+    (* 512, not 64: with hash-consed variants and an id-keyed shared DP
+       table, matching a variant costs O(new nodes), so the deeper closure
+       is cheaper than the old limit-64 enumeration was.  Variant sets are
+       prefix-stable in the limit, so covers can only improve. *)
+    variant_limit = 512;
     algebra_rules = Ir.Algebra.default_rules;
     cse = true;
     peephole = true;

@@ -40,7 +40,10 @@ type t = {
 val record_ : t
 (** The RECORD configuration. Note [algebra_rules] excludes constant folding
     ("it does not contain any standard optimization technique such as
-    constant folding", §4.3.5). *)
+    constant folding", §4.3.5). [variant_limit] is 512: hash-consed variant
+    sets and the shared DP table ({!Burg.Matcher}) make the deeper closure
+    cheaper than the pre-sharing limit of 64, and since variant sets are
+    prefix-stable in the limit, covers only improve. *)
 
 val conventional : t
 (** The mid-90s target-specific C compiler stand-in: naive in every

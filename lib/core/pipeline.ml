@@ -8,6 +8,27 @@ type stats = {
   agu_streams : int;
 }
 
+type selection_stats = {
+  sel_trees : int;
+  sel_variants : int;
+  sel_variants_pruned : int;
+  sel_variant_dedup : int;
+  sel_variant_nodes : int;
+  sel_nodes_labelled : int;
+  sel_memo_hits : int;
+}
+
+let no_selection =
+  {
+    sel_trees = 0;
+    sel_variants = 0;
+    sel_variants_pruned = 0;
+    sel_variant_dedup = 0;
+    sel_variant_nodes = 0;
+    sel_nodes_labelled = 0;
+    sel_memo_hits = 0;
+  }
+
 type compiled = {
   machine : Target.Machine.t;
   prog : Ir.Prog.t;
@@ -17,6 +38,7 @@ type compiled = {
   pool : (string * int) list;
       (** constant-pool cells and their load-time initial values *)
   stats : stats;
+  selection : selection_stats;
   phase_ms : (string * float) list;
       (** wall-clock trace spans, one per pipeline phase, in execution
           order; the driver's JSON protocol surfaces them per job *)
@@ -143,15 +165,31 @@ let source_rewrite (options : Options.t) (prog : Ir.Prog.t) =
 
 (* ---- Instruction selection and emission -------------------------------- *)
 
-let select matcher (options : Options.t) stats tree =
+(* Mutable accumulator for the selection counters of one compilation; the
+   algebra counters are incremented in place by [Algebra.variants]. *)
+type sel_acc = {
+  vc : Ir.Algebra.counters;
+  mutable trees : int;
+  mutable variants_matched : int;
+  mutable variant_nodes : int;
+}
+
+let select matcher (options : Options.t) stats sel tree =
+  let h = Ir.Hashcons.intern tree in
   let variants =
     match options.selection with
     | Options.Optimal_variants ->
-      Ir.Algebra.variants ~rules:options.algebra_rules
-        ~limit:options.variant_limit tree
-    | Options.Optimal_single | Options.Naive_macro -> [ tree ]
+      Ir.Algebra.hvariants ~rules:options.algebra_rules
+        ~limit:options.variant_limit ~counters:sel.vc h
+    | Options.Optimal_single | Options.Naive_macro -> [ h ]
   in
-  match Burg.Matcher.best_of_variants matcher variants with
+  sel.trees <- sel.trees + 1;
+  sel.variants_matched <- sel.variants_matched + List.length variants;
+  sel.variant_nodes <-
+    List.fold_left
+      (fun acc (v : Ir.Hashcons.h) -> acc + v.Ir.Hashcons.size)
+      sel.variant_nodes variants;
+  match Burg.Matcher.best_of_hvariants matcher variants with
   | Some (_v, cover) ->
     stats := { !stats with variants_tried = (!stats).variants_tried + List.length variants;
                cover_cost = (!stats).cover_cost + Burg.Cover.cost cover };
@@ -212,7 +250,7 @@ let naive_stmt_addresses machine ctx cells ~dst ~src =
   in
   rewrite
 
-let rec lower machine matcher ctx (options : Options.t) stats cells items =
+let rec lower machine matcher ctx (options : Options.t) stats sel cells items =
   List.concat_map
     (fun item ->
       match item with
@@ -224,7 +262,7 @@ let rec lower machine matcher ctx (options : Options.t) stats cells items =
           | Options.Materialize_ivar | Options.Streams -> fun op -> op
         in
         let addr_pre = Target.Machine.drain ctx in
-        let cover = select matcher options stats src in
+        let cover = select matcher options stats sel src in
         let value = Target.Machine.run_cover machine ctx cover in
         machine.Target.Machine.store ctx dst value;
         let body = Target.Machine.drain ctx in
@@ -234,7 +272,7 @@ let rec lower machine matcher ctx (options : Options.t) stats cells items =
       | Ir.Prog.Loop { ivar; count; body } -> (
         match options.agu with
         | Options.Streams ->
-          let body_items = lower machine matcher ctx options stats cells body in
+          let body_items = lower machine matcher ctx options stats sel cells body in
           (* Address streams of this loop, before the loop-control
              instructions so hardware loops stay adjacent to their body. *)
           let inits, body_items, residual_ivar =
@@ -271,7 +309,7 @@ let rec lower machine matcher ctx (options : Options.t) stats cells items =
           naive.Target.Machine.zero_cell ctx cell;
           let init = Target.Machine.drain ctx in
           let body_items =
-            lower machine matcher ctx options stats ((ivar, cell) :: cells)
+            lower machine matcher ctx options stats sel ((ivar, cell) :: cells)
               body
           in
           naive.Target.Machine.incr_cell ctx cell;
@@ -355,7 +393,7 @@ let bank_word_ok layout instrs =
   mem_accesses <= 1
   || (!wildcards = 0 && List.length (List.sort_uniq compare banks) = List.length banks)
 
-let compile ?(options = Options.record_) machine (prog : Ir.Prog.t) =
+let compile ?(options = Options.record_) ?matcher machine (prog : Ir.Prog.t) =
   (* Per-phase wall-clock spans, appended in execution order.  The spans are
      part of {!compiled} so callers (the driver's batch scheduler, the JSON
      protocol) can surface where compile time goes without re-instrumenting
@@ -374,7 +412,18 @@ let compile ?(options = Options.record_) machine (prog : Ir.Prog.t) =
   let prog', _added =
     timed "source-rewrite" (fun () -> source_rewrite options prog)
   in
-  let matcher = Burg.Matcher.create machine.Target.Machine.grammar in
+  (* A caller-provided matcher (the driver's long-lived per-target matcher)
+     brings its warm DP table; labellings depend only on the grammar, so
+     reuse across programs is sound. *)
+  let matcher =
+    match matcher with
+    | Some m ->
+      if not (Burg.Matcher.grammar m == machine.Target.Machine.grammar) then
+        invalid_arg "Pipeline.compile: matcher built for a different grammar";
+      m
+    | None -> Burg.Matcher.create machine.Target.Machine.grammar
+  in
+  let mc0 = Burg.Matcher.counters matcher in
   let ctx = Target.Machine.create_ctx () in
   let stats =
     ref
@@ -386,11 +435,32 @@ let compile ?(options = Options.record_) machine (prog : Ir.Prog.t) =
         agu_streams = 0;
       }
   in
+  let sel =
+    {
+      vc = Ir.Algebra.fresh_counters ();
+      trees = 0;
+      variants_matched = 0;
+      variant_nodes = 0;
+    }
+  in
   let items =
     timed "select-emit" (fun () ->
-        let items = lower machine matcher ctx options stats [] prog'.body in
+        let items = lower machine matcher ctx options stats sel [] prog'.body in
         check_no_induct items;
         items)
+  in
+  let selection =
+    let mc1 = Burg.Matcher.counters matcher in
+    {
+      sel_trees = sel.trees;
+      sel_variants = sel.variants_matched;
+      sel_variants_pruned = sel.vc.Ir.Algebra.pruned;
+      sel_variant_dedup = sel.vc.Ir.Algebra.dedup_hits;
+      sel_variant_nodes = sel.variant_nodes;
+      sel_nodes_labelled =
+        mc1.Burg.Matcher.nodes_labelled - mc0.Burg.Matcher.nodes_labelled;
+      sel_memo_hits = mc1.Burg.Matcher.memo_hits - mc0.Burg.Matcher.memo_hits;
+    }
   in
   let items =
     if options.peephole then
@@ -454,6 +524,7 @@ let compile ?(options = Options.record_) machine (prog : Ir.Prog.t) =
     layout;
     pool;
     stats = !stats;
+    selection;
     phase_ms = List.rev !spans;
   }
 

@@ -19,6 +19,25 @@ type stats = {
   agu_streams : int;  (** address streams assigned to address registers *)
 }
 
+type selection_stats = {
+  sel_trees : int;  (** data-flow trees put through instruction selection *)
+  sel_variants : int;  (** variants matched, originals included *)
+  sel_variants_pruned : int;  (** candidates cut by the variant limit *)
+  sel_variant_dedup : int;  (** candidates already in a tree's closure *)
+  sel_variant_nodes : int;
+      (** total node count over all matched variants — the work a matcher
+          without subtree sharing would do *)
+  sel_nodes_labelled : int;
+      (** DP-table entries computed, i.e. distinct subtrees labelled; the
+          gap to [sel_variant_nodes] is the shared-table saving *)
+  sel_memo_hits : int;  (** labellings served from the shared DP table *)
+}
+(** Counters from the selection phase (variant generation + BURG matching),
+    deltas for this compilation even when the matcher is shared. *)
+
+val no_selection : selection_stats
+(** All-zero record (convenient default for synthetic results). *)
+
 type compiled = {
   machine : Target.Machine.t;
   prog : Ir.Prog.t;  (** the source program (before internal rewrites) *)
@@ -29,15 +48,27 @@ type compiled = {
       (** constant-pool cells with their load-time values, part of the
           program image the simulator initializes *)
   stats : stats;
+  selection : selection_stats;
   phase_ms : (string * float) list;
       (** wall-clock trace spans, one [(phase, milliseconds)] pair per
           pipeline phase that ran, in execution order *)
 }
 
-val compile : ?options:Options.t -> Target.Machine.t -> Ir.Prog.t -> compiled
+val compile :
+  ?options:Options.t ->
+  ?matcher:Burg.Matcher.t ->
+  Target.Machine.t ->
+  Ir.Prog.t ->
+  compiled
 (** Default options are {!Options.record_}.
+
+    [matcher] lets a caller supply a long-lived matcher whose shared DP
+    table persists across compilations (the driver's batch service keeps
+    one per target); it must have been created from this machine's grammar.
+    Without it a fresh matcher is created per run.
     @raise Error when the program cannot be compiled for the machine (no
-    cover, AGU exhaustion, register pressure, mode verification failure). *)
+    cover, AGU exhaustion, register pressure, mode verification failure).
+    @raise Invalid_argument when [matcher] was built for another grammar. *)
 
 val words : compiled -> int
 (** Code size in instruction words. *)

@@ -3,6 +3,7 @@ type entry = {
   layout : Target.Layout.t;
   pool : (string * int) list;
   stats : Record.Pipeline.stats;
+  selection : Record.Pipeline.selection_stats;
   phase_ms : (string * float) list;
 }
 
@@ -103,7 +104,10 @@ let memory_put t key entry =
 
 (* ---- disk tier ----------------------------------------------------------- *)
 
-let magic = "RECORD-CACHE-1\n"
+(* Version 2: entries carry the selection counters of the producing
+   compile.  The bump invalidates v1 disk entries, whose marshalled
+   payload lacks the field. *)
+let magic = "RECORD-CACHE-2\n"
 
 let entry_path base key = Filename.concat base key
 

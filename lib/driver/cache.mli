@@ -21,6 +21,8 @@ type entry = {
   layout : Target.Layout.t;
   pool : (string * int) list;
   stats : Record.Pipeline.stats;
+  selection : Record.Pipeline.selection_stats;
+      (** selection counters of the compile that produced the entry *)
   phase_ms : (string * float) list;
       (** trace spans of the compile that produced the entry *)
 }

@@ -37,6 +37,7 @@ type success = {
   words : int;
   instrs : int;
   stats : Record.Pipeline.stats;
+  selection : Record.Pipeline.selection_stats;
   cycles : int option;
   outputs : (string * int array) list;
   static_cycles : int option;
@@ -73,6 +74,7 @@ let run ?cache job =
             words = Record.Pipeline.words c;
             instrs = Target.Asm.instr_count c.Record.Pipeline.asm;
             stats = c.Record.Pipeline.stats;
+            selection = c.Record.Pipeline.selection;
             cycles = None;
             outputs = [];
             static_cycles = None;
@@ -143,6 +145,18 @@ let stats_to_json (s : Record.Pipeline.stats) =
       ("agu_streams", Json.Int s.Record.Pipeline.agu_streams);
     ]
 
+let selection_to_json (s : Record.Pipeline.selection_stats) =
+  Json.Obj
+    [
+      ("trees", Json.Int s.Record.Pipeline.sel_trees);
+      ("variants", Json.Int s.Record.Pipeline.sel_variants);
+      ("variants_pruned", Json.Int s.Record.Pipeline.sel_variants_pruned);
+      ("variant_dedup", Json.Int s.Record.Pipeline.sel_variant_dedup);
+      ("variant_nodes", Json.Int s.Record.Pipeline.sel_variant_nodes);
+      ("nodes_labelled", Json.Int s.Record.Pipeline.sel_nodes_labelled);
+      ("memo_hits", Json.Int s.Record.Pipeline.sel_memo_hits);
+    ]
+
 let outputs_to_json outputs =
   Json.Obj
     (List.map
@@ -181,6 +195,10 @@ let success_to_json ~deterministic s =
         ("cache", Json.String (Service.provenance_name s.cache));
         ("wall_ms", Json.Float s.wall_ms);
         ("phase_ms", phase_ms_to_json s.phase_ms);
+        (* Volatile like phase_ms: the matcher-side counters are deltas
+           against a DP table shared across the jobs of one worker, so
+           they depend on scheduling, not on the job alone. *)
+        ("selection", selection_to_json s.selection);
       ]
   in
   Json.Obj (core @ volatile)

@@ -48,6 +48,7 @@ type success = {
   words : int;
   instrs : int;
   stats : Record.Pipeline.stats;
+  selection : Record.Pipeline.selection_stats;
   cycles : int option;  (** [Simulate] *)
   outputs : (string * int array) list;  (** [Simulate] *)
   static_cycles : int option;  (** [Timing] *)
@@ -84,6 +85,12 @@ val kind_name : kind -> string
 val to_json : t -> Json.t
 (** The job's description (no program body): id, label, source, target,
     options label and fingerprint, kind. *)
+
+val selection_to_json : Record.Pipeline.selection_stats -> Json.t
+(** Selection counters as a flat object (trees, variants, pruned, dedup,
+    variant nodes, nodes labelled, memo hits). Encoded in the volatile
+    section of a success: the matcher counters are deltas against a DP
+    table shared across one worker's jobs, so they depend on scheduling. *)
 
 val result_to_json : ?deterministic:bool -> result -> Json.t
 

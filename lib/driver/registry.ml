@@ -1,10 +1,18 @@
-let machines () =
-  [
-    Target.Tic25.machine;
-    Target.Dsp56.machine;
-    Target.Risc32.machine;
-    Target.Asip.machine Target.Asip.default;
-  ]
+(* The bundled machines are pure values (all mutable emission state lives
+   in per-compile contexts inside the pipeline), so the list is built once
+   and shared.  Memoizing matters beyond avoiding rework: matcher_for keys
+   warm matchers on physical grammar identity, and Asip.machine would
+   otherwise rebuild a fresh grammar per call. *)
+let machines_list =
+  lazy
+    [
+      Target.Tic25.machine;
+      Target.Dsp56.machine;
+      Target.Risc32.machine;
+      Target.Asip.machine Target.Asip.default;
+    ]
+
+let machines () = Lazy.force machines_list
 
 let names () = List.map (fun (m : Target.Machine.t) -> m.name) (machines ())
 
@@ -17,3 +25,16 @@ let find_machine name =
     Error
       (Printf.sprintf "unknown target %s (available: %s)" name
          (String.concat ", " (names ())))
+
+let matchers : (string, Burg.Matcher.t) Hashtbl.t = Hashtbl.create 8
+
+let matcher_for (m : Target.Machine.t) =
+  match Hashtbl.find_opt matchers m.name with
+  | Some mt when Burg.Matcher.grammar mt == m.Target.Machine.grammar -> mt
+  | Some _ | None ->
+    (* Unknown name, or a caller-constructed machine (e.g. a non-default
+       asip) reusing a registry name with a different grammar: build a
+       matcher for this grammar and remember it. *)
+    let mt = Burg.Matcher.create m.Target.Machine.grammar in
+    Hashtbl.replace matchers m.name mt;
+    mt

@@ -6,10 +6,17 @@
 
 val machines : unit -> Target.Machine.t list
 (** The bundled machines: tic25, dsp56, risc32, and the default-parameter
-    asip. Rebuilt per call — machine values carry mutable emission state
-    in closures, so sharing one list across compilations is not assumed. *)
+    asip. Built once and shared — machines are pure values (mutable
+    emission state lives in per-compile contexts inside the pipeline). *)
 
 val names : unit -> string list
 
 val find_machine : string -> (Target.Machine.t, string) result
 (** [Error] names the unknown target and lists the available ones. *)
+
+val matcher_for : Target.Machine.t -> Burg.Matcher.t
+(** The process-wide long-lived matcher for this machine's grammar. Its
+    DP table ({!Burg.Matcher}) stays warm across compilations, so batch
+    jobs for one target share labellings of repeated subtrees. Returns a
+    fresh matcher (and caches it) when the machine's grammar is not
+    physically the one already registered under that name. *)

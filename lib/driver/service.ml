@@ -17,6 +17,9 @@ type outcome = {
 let compile ?cache ?salt ?(options = Record.Options.record_) machine prog =
   let t0 = Unix.gettimeofday () in
   let key = Key.make ?salt ~machine ~options prog in
+  (* One warm matcher per target: its shared DP table carries labellings
+     across every compilation this process runs for the machine. *)
+  let matcher = Registry.matcher_for machine in
   let finish compiled provenance =
     {
       compiled;
@@ -26,7 +29,7 @@ let compile ?cache ?salt ?(options = Record.Options.record_) machine prog =
     }
   in
   match cache with
-  | None -> finish (Record.Pipeline.compile ~options machine prog) Miss
+  | None -> finish (Record.Pipeline.compile ~options ~matcher machine prog) Miss
   | Some cache -> (
     match Cache.find cache key with
     | Some (entry, tier) ->
@@ -39,19 +42,21 @@ let compile ?cache ?salt ?(options = Record.Options.record_) machine prog =
           layout = entry.Cache.layout;
           pool = entry.Cache.pool;
           stats = entry.Cache.stats;
+          selection = entry.Cache.selection;
           phase_ms = entry.Cache.phase_ms;
         }
       in
       finish compiled
         (match tier with Cache.Memory -> Memory_hit | Cache.Disk -> Disk_hit)
     | None ->
-      let compiled = Record.Pipeline.compile ~options machine prog in
+      let compiled = Record.Pipeline.compile ~options ~matcher machine prog in
       Cache.store cache key
         {
           Cache.asm = compiled.Record.Pipeline.asm;
           layout = compiled.Record.Pipeline.layout;
           pool = compiled.Record.Pipeline.pool;
           stats = compiled.Record.Pipeline.stats;
+          selection = compiled.Record.Pipeline.selection;
           phase_ms = compiled.Record.Pipeline.phase_ms;
         };
       finish compiled Miss)

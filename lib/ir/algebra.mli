@@ -19,12 +19,38 @@ val default_rules : rule list
 
 val rewrites : rule list -> Tree.t -> Tree.t list
 (** All trees reachable from the argument by one application of one rule at
-    one position (without the argument itself). *)
+    one position (without the argument itself). Results are canonical
+    ({!Hashcons}) and share every unchanged subtree with the input. *)
 
-val variants : ?rules:rule list -> ?limit:int -> Tree.t -> Tree.t list
-(** Breadth-first closure of {!rewrites} starting from the tree, deduplicated
-    structurally, capped at [limit] results (default 64). The original tree is
-    always the first element. *)
+type counters = {
+  mutable explored : int;  (** variants admitted (the original included) *)
+  mutable pruned : int;  (** candidates discarded because [limit] was hit *)
+  mutable dedup_hits : int;  (** candidates already in the closure *)
+}
+(** Cheap instrumentation of one or more {!variants} runs; the pipeline
+    accumulates one record per compilation and surfaces it as the
+    [selection] stats of {!Record.Pipeline.compiled}. *)
+
+val fresh_counters : unit -> counters
+
+val hvariants :
+  ?rules:rule list ->
+  ?limit:int ->
+  ?counters:counters ->
+  Hashcons.h ->
+  Hashcons.h list
+(** Breadth-first closure of the one-step rewrites starting from the
+    handle, deduplicated on hash-cons ids, capped at [limit] results
+    (default 64). The original is always the first element, and every
+    result is canonical, so the whole variant set shares subtree nodes.
+    Raising [limit] extends the enumeration: the result at a lower limit
+    is a prefix of the result at a higher one. [counters] fields are
+    incremented (never reset) when given. This is the selection hot path
+    — no tree is hashed or traversed beyond the rewrite positions. *)
+
+val variants :
+  ?rules:rule list -> ?limit:int -> ?counters:counters -> Tree.t -> Tree.t list
+(** [hvariants] on the interned tree, as plain trees. *)
 
 val equivalent : ?width:int -> Tree.t -> Tree.t -> bool
 (** Checks semantic equality on a deterministic battery of assignments to the

@@ -1,0 +1,84 @@
+type h = { node : Tree.t; id : int; size : int; kids : h array }
+
+(* Shallow shape of a node: constructor, operator, and child *ids*.  With
+   children already canonical, two nodes are structurally equal iff their
+   keys are equal, so the table never hashes or compares a subtree — every
+   probe is O(1) regardless of tree depth.  (Keying on the tree itself with
+   the polymorphic hash would re-traverse subtrees at every probe: the
+   depth-bounded [Hashtbl.hash] does not short-circuit on sharing.) *)
+type key =
+  | K_const of int
+  | K_ref of Mref.t
+  | K_unop of Op.unop * int
+  | K_binop of Op.binop * int * int
+
+let table : (key, h) Hashtbl.t = Hashtbl.create 4096
+let hits = ref 0
+let misses = ref 0
+
+(* Monotonic across [clear]: an id is never reused, so tables keyed by id
+   (matcher memos) can survive a table reset — stale keys simply never hit
+   again. *)
+let next_id = ref 0
+
+type stats = { live : int; hits : int; misses : int }
+
+let probe key build =
+  match Hashtbl.find_opt table key with
+  | Some h ->
+    incr hits;
+    h
+  | None ->
+    incr misses;
+    let node, size, kids = build () in
+    let h = { node; id = !next_id; size; kids } in
+    incr next_id;
+    Hashtbl.replace table key h;
+    h
+
+let no_kids = [||]
+
+let const k = probe (K_const k) (fun () -> (Tree.Const k, 1, no_kids))
+let ref_ r = probe (K_ref r) (fun () -> (Tree.Ref r, 1, no_kids))
+let var name = ref_ (Mref.scalar name)
+
+let unop op a =
+  probe (K_unop (op, a.id)) (fun () ->
+      (Tree.Unop (op, a.node), 1 + a.size, [| a |]))
+
+let binop op a b =
+  probe (K_binop (op, a.id, b.id)) (fun () ->
+      (Tree.Binop (op, a.node, b.node), 1 + a.size + b.size, [| a; b |]))
+
+(* Like the smart constructors, but reusing [t] itself as the canonical
+   node when its children already were canonical — re-interning a tree
+   that came out of the table allocates nothing. *)
+let rec intern (t : Tree.t) =
+  match t with
+  | Tree.Const k -> const k
+  | Tree.Ref r -> ref_ r
+  | Tree.Unop (op, a) ->
+    let ha = intern a in
+    probe (K_unop (op, ha.id)) (fun () ->
+        let node = if ha.node == a then t else Tree.Unop (op, ha.node) in
+        (node, 1 + ha.size, [| ha |]))
+  | Tree.Binop (op, a, b) ->
+    let ha = intern a in
+    let hb = intern b in
+    probe (K_binop (op, ha.id, hb.id)) (fun () ->
+        let node =
+          if ha.node == a && hb.node == b then t
+          else Tree.Binop (op, ha.node, hb.node)
+        in
+        (node, 1 + ha.size + hb.size, [| ha; hb |]))
+
+let node h = h.node
+let id h = h.id
+let equal a b = (intern a).node == (intern b).node
+
+let stats () = { live = Hashtbl.length table; hits = !hits; misses = !misses }
+
+let clear () =
+  Hashtbl.reset table;
+  hits := 0;
+  misses := 0

@@ -1,0 +1,304 @@
+(* Tests for the hash-consed IR layer and the sharing it buys downstream:
+   interning invariants, variant enumeration vs a structural reference
+   implementation, matcher memo sharing, and pipeline selection stats. *)
+
+let tree = Alcotest.testable Ir.Tree.pp Ir.Tree.equal
+
+(* ---- Interning invariants ---------------------------------------------- *)
+
+let test_intern_canonical () =
+  let mk () = Ir.Tree.(var "x" + (var "y" * const 3)) in
+  let h1 = Ir.Hashcons.intern (mk ()) and h2 = Ir.Hashcons.intern (mk ()) in
+  Alcotest.(check bool)
+    "equal trees intern to the same node" true
+    (Ir.Hashcons.node h1 == Ir.Hashcons.node h2);
+  Alcotest.(check int) "and the same id" (Ir.Hashcons.id h1)
+    (Ir.Hashcons.id h2);
+  let h3 = Ir.Hashcons.intern Ir.Tree.(var "y" + (var "x" * const 3)) in
+  Alcotest.(check bool)
+    "different trees get different ids" false
+    (Ir.Hashcons.id h1 = Ir.Hashcons.id h3)
+
+let test_intern_preserves_structure () =
+  let t = Ir.Tree.(neg (var "a") + (const 2 * (var "a" + var "b"))) in
+  Alcotest.check tree "canonical node is structurally the input" t
+    (Ir.Hashcons.node (Ir.Hashcons.intern t))
+
+let test_smart_constructors_agree () =
+  let open Ir.Hashcons in
+  let viaconstructors = binop Ir.Op.Add (var "x") (unop Ir.Op.Neg (const 4)) in
+  let viaintern = intern Ir.Tree.(var "x" + neg (const 4)) in
+  Alcotest.(check bool)
+    "smart constructors and intern meet at one node" true
+    (node viaconstructors == node viaintern)
+
+let test_subtree_sharing () =
+  let sub = Ir.Tree.(var "p" * var "q") in
+  let h1 = Ir.Hashcons.intern Ir.Tree.(sub + const 1) in
+  let h2 = Ir.Hashcons.intern Ir.Tree.(const 2 - sub) in
+  let kid h i = h.Ir.Hashcons.kids.(i) in
+  Alcotest.(check bool)
+    "shared subtree is one canonical node across parents" true
+    (Ir.Hashcons.node (kid h1 0) == Ir.Hashcons.node (kid h2 1))
+
+let test_handle_size () =
+  let t = Ir.Tree.(var "x" + (var "y" * const 3)) in
+  Alcotest.(check int) "handle size matches Tree.size" (Ir.Tree.size t)
+    (Ir.Hashcons.intern t).Ir.Hashcons.size
+
+let test_ids_not_reused_after_clear () =
+  let t = Ir.Tree.(var "fresh_clear_probe" + const 7) in
+  let before = Ir.Hashcons.id (Ir.Hashcons.intern t) in
+  Ir.Hashcons.clear ();
+  let after = Ir.Hashcons.id (Ir.Hashcons.intern t) in
+  Alcotest.(check bool)
+    "ids are monotonic across clear (never reused)" true (after > before)
+
+let gen_tree =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun k -> Ir.Tree.Const k) (int_range (-8) 8);
+        map Ir.Tree.var (oneofl [ "x"; "y"; "z" ]);
+      ]
+  in
+  let node self n =
+    let sub = self (n / 2) in
+    oneof
+      [
+        leaf;
+        map2
+          (fun op (a, b) -> Ir.Tree.Binop (op, a, b))
+          (oneofl Ir.Op.[ Add; Sub; Mul; And; Or; Xor ])
+          (pair sub sub);
+        map (fun a -> Ir.Tree.Unop (Ir.Op.Neg, a)) sub;
+      ]
+  in
+  sized_size (int_bound 5) (fix (fun self n -> if n = 0 then leaf else node self n))
+
+let arb_tree = QCheck.make ~print:Ir.Tree.to_string gen_tree
+
+let prop_intern_physical =
+  QCheck.Test.make ~name:"structural equality iff shared canonical node"
+    ~count:300
+    QCheck.(pair arb_tree arb_tree)
+    (fun (a, b) ->
+      let ha = Ir.Hashcons.intern a and hb = Ir.Hashcons.intern b in
+      Ir.Tree.equal a b = (Ir.Hashcons.node ha == Ir.Hashcons.node hb))
+
+(* ---- Variants vs a structural reference implementation ------------------ *)
+
+(* Pre-hashcons reference: one-step rewrites and a BFS closure computed on
+   plain trees with structural dedup, mirroring the seed compiler. Kept
+   deliberately naive — it is the spec the fast path must agree with. *)
+
+let is_pow2 k = k > 0 && k land (k - 1) = 0
+
+let log2 k =
+  let rec go n k = if k <= 1 then n else go (n + 1) (k lsr 1) in
+  go 0 k
+
+let rec ref_rewrites rules t =
+  let open Ir in
+  let has r = List.mem r rules in
+  let root =
+    (match t with
+    | Tree.Binop (op, a, b) when has Algebra.Commute && Op.commutative op ->
+      [ Tree.Binop (op, b, a) ]
+    | _ -> [])
+    @ (match t with
+      | Tree.Binop (op, Tree.Binop (op', a, b), c)
+        when has Algebra.Assoc && op = op' && Op.associative op ->
+        [ Tree.Binop (op, a, Tree.Binop (op, b, c)) ]
+      | _ -> [])
+    @ (match t with
+      | Tree.Binop (op, a, Tree.Binop (op', b, c))
+        when has Algebra.Assoc && op = op' && Op.associative op ->
+        [ Tree.Binop (op, Tree.Binop (op, a, b), c) ]
+      | _ -> [])
+    @
+    match t with
+    | Tree.Binop (Op.Mul, a, Tree.Const k) when has Algebra.Mul_to_shift && is_pow2 k
+      ->
+      [ Tree.Binop (Op.Shl, a, Tree.Const (log2 k)) ]
+    | Tree.Binop (Op.Mul, Tree.Const k, b) when has Algebra.Mul_to_shift && is_pow2 k
+      ->
+      [ Tree.Binop (Op.Shl, b, Tree.Const (log2 k)) ]
+    | Tree.Binop (Op.Shl, a, Tree.Const k)
+      when has Algebra.Mul_to_shift && k >= 0 && k < 15 ->
+      [ Tree.Binop (Op.Mul, a, Tree.Const (1 lsl k)) ]
+    | _ -> []
+  in
+  let below =
+    match t with
+    | Ir.Tree.Const _ | Ir.Tree.Ref _ -> []
+    | Ir.Tree.Unop (op, a) ->
+      List.map (fun a' -> Ir.Tree.Unop (op, a')) (ref_rewrites rules a)
+    | Ir.Tree.Binop (op, a, b) ->
+      List.map (fun a' -> Ir.Tree.Binop (op, a', b)) (ref_rewrites rules a)
+      @ List.map (fun b' -> Ir.Tree.Binop (op, a, b')) (ref_rewrites rules b)
+  in
+  root @ below
+
+let ref_variants ~rules ~limit t =
+  let seen = ref [ t ] in
+  let mem t = List.exists (Ir.Tree.equal t) !seen in
+  let queue = Queue.create () in
+  Queue.add t queue;
+  let n = ref 1 in
+  while (not (Queue.is_empty queue)) && !n < limit do
+    let cur = Queue.pop queue in
+    List.iter
+      (fun t' ->
+        if (not (mem t')) && !n < limit then begin
+          seen := t' :: !seen;
+          incr n;
+          Queue.add t' queue
+        end)
+      (ref_rewrites rules cur)
+  done;
+  List.rev !seen
+
+let sorted_strings ts = List.sort compare (List.map Ir.Tree.to_string ts)
+
+(* Limit high enough that the closure of a size-bounded tree saturates, so
+   enumeration order cannot leak into the comparison. *)
+let prop_variants_match_reference =
+  QCheck.Test.make
+    ~name:"hash-consed variant closure equals the structural reference"
+    ~count:200 arb_tree (fun t ->
+      let rules = Ir.Algebra.default_rules in
+      sorted_strings (Ir.Algebra.variants ~rules ~limit:4096 t)
+      = sorted_strings (ref_variants ~rules ~limit:4096 t))
+
+let prop_variants_prefix_stable =
+  QCheck.Test.make
+    ~name:"variants at a lower limit are a prefix of a higher limit"
+    ~count:200 arb_tree (fun t ->
+      let lo = Ir.Algebra.variants ~limit:8 t in
+      let hi = Ir.Algebra.variants ~limit:64 t in
+      let rec is_prefix = function
+        | [], _ -> true
+        | _, [] -> false
+        | a :: la, b :: lb -> Ir.Tree.equal a b && is_prefix (la, lb)
+      in
+      is_prefix (lo, hi))
+
+let test_variants_counters () =
+  let c = Ir.Algebra.fresh_counters () in
+  let t = Ir.Tree.(var "a" + (var "b" + var "c")) in
+  let vs = Ir.Algebra.variants ~counters:c ~limit:64 t in
+  Alcotest.(check int) "explored counts the closure" (List.length vs)
+    c.Ir.Algebra.explored;
+  Alcotest.(check bool) "revisits are dedup hits" true (c.Ir.Algebra.dedup_hits > 0);
+  let c2 = Ir.Algebra.fresh_counters () in
+  let vs2 = Ir.Algebra.variants ~counters:c2 ~limit:2 t in
+  Alcotest.(check int) "limit caps the closure" 2 (List.length vs2);
+  Alcotest.(check bool) "overflow counts as pruned" true (c2.Ir.Algebra.pruned > 0)
+
+(* ---- Matcher sharing across variants ------------------------------------ *)
+
+let test_matcher_shares_across_variants () =
+  let m = Burg.Matcher.create Target.Tic25.machine.Target.Machine.grammar in
+  let h =
+    Ir.Hashcons.intern
+      Ir.Tree.(var "u" + ((var "v" * var "w") + (var "u" * const 2)))
+  in
+  let hvs = Ir.Algebra.hvariants ~limit:64 h in
+  List.iter (fun hv -> ignore (Burg.Matcher.best_h m hv)) hvs;
+  let c = Burg.Matcher.counters m in
+  let total_nodes =
+    List.fold_left (fun acc hv -> acc + hv.Ir.Hashcons.size) 0 hvs
+  in
+  Alcotest.(check bool) "memo fires across variants" true
+    (c.Burg.Matcher.memo_hits > 0);
+  Alcotest.(check bool)
+    "distinct subtrees labelled, not variant nodes" true
+    (c.Burg.Matcher.nodes_labelled < total_nodes)
+
+let test_matcher_best_matches_variant_best () =
+  (* best_of_hvariants must pick a cover no worse than matching the original
+     alone, and agree with re-matching its chosen variant from scratch. *)
+  let g = Target.Tic25.machine.Target.Machine.grammar in
+  let m = Burg.Matcher.create g in
+  let t = Ir.Tree.(const 4 * (var "x" + var "y")) in
+  let h = Ir.Hashcons.intern t in
+  let hvs = Ir.Algebra.hvariants ~limit:64 h in
+  match (Burg.Matcher.best_of_hvariants m hvs, Burg.Matcher.best_h m h) with
+  | Some (hv, cover), Some base ->
+    Alcotest.(check bool) "variant cover no worse" true
+      (Burg.Cover.cost cover <= Burg.Cover.cost base);
+    let fresh = Burg.Matcher.create g in
+    (match Burg.Matcher.best_h fresh hv with
+    | Some again ->
+      Alcotest.(check int) "shared-table cover cost = cold cover cost"
+        (Burg.Cover.cost again) (Burg.Cover.cost cover)
+    | None -> Alcotest.fail "chosen variant must still cover cold")
+  | _ -> Alcotest.fail "tic25 must cover the tree"
+
+(* ---- Pipeline selection stats ------------------------------------------- *)
+
+let test_pipeline_selection_stats () =
+  let prog = Dspstone.Kernels.prog (Dspstone.Kernels.find "dot_product") in
+  let c = Record.Pipeline.compile Target.Tic25.machine prog in
+  let s = c.Record.Pipeline.selection in
+  Alcotest.(check bool) "trees counted" true (s.Record.Pipeline.sel_trees > 0);
+  Alcotest.(check bool) "variants counted" true
+    (s.Record.Pipeline.sel_variants >= s.Record.Pipeline.sel_trees);
+  Alcotest.(check bool) "labelling sub-linear in variant nodes" true
+    (s.Record.Pipeline.sel_nodes_labelled < s.Record.Pipeline.sel_variant_nodes)
+
+let test_pipeline_words_no_worse_at_512 () =
+  let prog = Dspstone.Kernels.prog (Dspstone.Kernels.find "fir") in
+  let at limit =
+    let options =
+      { Record.Options.record_ with Record.Options.variant_limit = limit }
+    in
+    Record.Pipeline.words (Record.Pipeline.compile ~options Target.Tic25.machine prog)
+  in
+  Alcotest.(check bool) "words at 512 <= words at 64" true (at 512 <= at 64)
+
+let test_registry_matcher_long_lived () =
+  match Driver.Registry.find_machine "tic25" with
+  | Error e -> Alcotest.fail e
+  | Ok machine ->
+    let m1 = Driver.Registry.matcher_for machine in
+    let m2 = Driver.Registry.matcher_for machine in
+    Alcotest.(check bool) "one matcher per target" true (m1 == m2)
+
+let suites =
+  [
+    ( "hashcons",
+      [
+        Alcotest.test_case "intern canonical" `Quick test_intern_canonical;
+        Alcotest.test_case "intern preserves structure" `Quick
+          test_intern_preserves_structure;
+        Alcotest.test_case "smart constructors agree" `Quick
+          test_smart_constructors_agree;
+        Alcotest.test_case "subtree sharing" `Quick test_subtree_sharing;
+        Alcotest.test_case "handle size" `Quick test_handle_size;
+        Alcotest.test_case "ids survive clear" `Quick
+          test_ids_not_reused_after_clear;
+        QCheck_alcotest.to_alcotest prop_intern_physical;
+      ] );
+    ( "hashcons-variants",
+      [
+        QCheck_alcotest.to_alcotest prop_variants_match_reference;
+        QCheck_alcotest.to_alcotest prop_variants_prefix_stable;
+        Alcotest.test_case "variant counters" `Quick test_variants_counters;
+      ] );
+    ( "hashcons-matcher",
+      [
+        Alcotest.test_case "DP table shared across variants" `Quick
+          test_matcher_shares_across_variants;
+        Alcotest.test_case "variant best is sound" `Quick
+          test_matcher_best_matches_variant_best;
+        Alcotest.test_case "pipeline selection stats" `Quick
+          test_pipeline_selection_stats;
+        Alcotest.test_case "words no worse at 512" `Quick
+          test_pipeline_words_no_worse_at_512;
+        Alcotest.test_case "registry matcher long-lived" `Quick
+          test_registry_matcher_long_lived;
+      ] );
+  ]

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "record"
-    (Test_ir.suites @ Test_eval.suites @ Test_burg.suites @ Test_dfl.suites
+    (Test_ir.suites @ Test_eval.suites @ Test_hashcons.suites
+    @ Test_burg.suites @ Test_dfl.suites
     @ Test_opt.suites @ Test_target.suites @ Test_target_props.suites
     @ Test_rtl_ise.suites
     @ Test_mdl.suites @ Test_selftest.suites @ Test_dspstone.suites @ Test_timing.suites
