@@ -624,6 +624,140 @@ let assert_sharing rows =
   end;
   Format.printf "@."
 
+(* ---- Serve sweep: domain-pool throughput vs the fork scheduler ----------- *)
+
+(* Streams the Table-1 job file through Pool.run_jobs at 1/2/4/8 domains
+   and through the fork scheduler at the same widths, with the result
+   cache disabled throughout so what's measured is compilation, not cache
+   lookups.  "cold" resets the shared state the pool exists to amortize
+   (intern table, per-target matcher DP tables) before every rep; "warm"
+   keeps it.  Written as BENCH_serve.json. *)
+
+let serve_reps = 5
+
+let reset_shared_state () =
+  Ir.Hashcons.clear ();
+  List.iter
+    (fun m -> Burg.Matcher.clear (Driver.Registry.matcher_for m))
+    (Driver.Registry.machines ())
+
+let jobs_per_sec n_jobs f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt <= 0.0 then 0.0 else float n_jobs /. dt
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float (List.length xs)
+
+type serve_row = {
+  sv_domains : int;
+  sv_cold : float;  (* jobs/sec, shared state reset before each rep *)
+  sv_warm : float;  (* jobs/sec, shared state kept across reps *)
+  sv_fork : float;  (* jobs/sec, fork scheduler at the same width *)
+}
+
+let serve_sweep () =
+  section "Serve sweep: domain-pool throughput vs the fork scheduler";
+  let jobs_file = "bench/jobs_table1.json" in
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let jobs =
+    match
+      Result.bind (Driver.Json.of_string (read_file jobs_file))
+        Driver.Protocol.jobs_of_json
+    with
+    | Ok jobs -> jobs
+    | Error msg ->
+      Format.printf "cannot load %s: %s@." jobs_file msg;
+      exit 1
+  in
+  let n_jobs = List.length jobs in
+  let widths = [ 1; 2; 4; 8 ] in
+  (* The runtime refuses Unix.fork once any domain has ever been spawned,
+     so every fork-scheduler baseline is measured before the first pool. *)
+  let fork_rates =
+    List.map
+      (fun d ->
+        ( d,
+          mean
+            (List.init serve_reps (fun _ ->
+                 jobs_per_sec n_jobs (fun () ->
+                     ignore (Driver.Batch.run ~jobs:d jobs)))) ))
+      widths
+  in
+  let measure d =
+    (* The pool is long-lived in the daemon, so spawn/join stays outside
+       the timed region; only run_jobs dispatch+compilation is measured. *)
+    let pool = Driver.Pool.create ~domains:d () in
+    let timed_run () =
+      jobs_per_sec n_jobs (fun () -> ignore (Driver.Pool.run_jobs pool jobs))
+    in
+    let cold =
+      mean
+        (List.init serve_reps (fun _ ->
+             reset_shared_state ();
+             timed_run ()))
+    in
+    ignore (timed_run ());
+    let warm = mean (List.init serve_reps (fun _ -> timed_run ())) in
+    Driver.Pool.shutdown pool;
+    { sv_domains = d; sv_cold = cold; sv_warm = warm;
+      sv_fork = List.assoc d fork_rates }
+  in
+  let rows = List.map measure widths in
+  Format.printf "%-8s %14s %14s %14s@." "domains" "cold jobs/s" "warm jobs/s"
+    "fork jobs/s";
+  List.iter
+    (fun r ->
+      Format.printf "%-8d %14.1f %14.1f %14.1f@." r.sv_domains r.sv_cold
+        r.sv_warm r.sv_fork)
+    rows;
+  let rate_at d = (List.find (fun r -> r.sv_domains = d) rows).sv_cold in
+  let speedup = if rate_at 1 > 0.0 then rate_at 4 /. rate_at 1 else 0.0 in
+  let host_cores = Domain.recommended_domain_count () in
+  Format.printf
+    "cold speedup at 4 domains vs 1: %.2fx (host reports %d core%s)@."
+    speedup host_cores (if host_cores = 1 then "" else "s");
+  let row_json r =
+    Driver.Json.Obj
+      [
+        ("domains", Driver.Json.Int r.sv_domains);
+        ("cold_jobs_per_sec", Driver.Json.Float r.sv_cold);
+        ("warm_jobs_per_sec", Driver.Json.Float r.sv_warm);
+        ("fork_jobs_per_sec", Driver.Json.Float r.sv_fork);
+      ]
+  in
+  let doc =
+    Driver.Json.Obj
+      [
+        ("table", Driver.Json.String "serve-sweep");
+        ("jobs_file", Driver.Json.String jobs_file);
+        ("jobs", Driver.Json.Int n_jobs);
+        ("reps", Driver.Json.Int serve_reps);
+        ("host_cores", Driver.Json.Int host_cores);
+        ("cache", Driver.Json.String "disabled");
+        ("rows", Driver.Json.List (List.map row_json rows));
+        ("cold_speedup_4_vs_1", Driver.Json.Float speedup);
+        ( "note",
+          Driver.Json.String
+            "cold resets the intern table and every matcher DP table before \
+             each rep; warm keeps them. The result cache is disabled \
+             throughout, so rates measure compilation. Scaling is bounded by \
+             host_cores: on a single-core host all widths serialize and the \
+             4-vs-1 ratio stays near 1." );
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Driver.Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "(rows written to BENCH_serve.json)@.@."
+
 let selftest_report () =
   section "§4.5: self-test program generation and fault coverage";
   List.iter
@@ -714,15 +848,19 @@ let () =
      and the Bechamel wall-clock measurements; quick enough for CI.
      --selection-sweep: only the variant-limit sweep (writes
      BENCH_selection.json); with --assert-sharing the counter-based
-     sharing budget is enforced (exit 1 on violation). *)
+     sharing budget is enforced (exit 1 on violation).
+     --serve-sweep: only the domain-pool throughput sweep (writes
+     BENCH_serve.json). *)
   let flag name = Array.exists (String.equal name) Sys.argv in
   let smoke = flag "--smoke" in
   let sweep_only = flag "--selection-sweep" in
+  let serve_only = flag "--serve-sweep" in
   let sharing = flag "--assert-sharing" in
   Format.printf
     "RECORD reproduction benchmarks (Marwedel, 'Code Generation for Core \
      Processors', DAC 1997)@.";
-  if sweep_only then begin
+  if serve_only then serve_sweep ()
+  else if sweep_only then begin
     let rows = selection_sweep () in
     if sharing then assert_sharing rows
   end
@@ -744,6 +882,7 @@ let () =
       n_sweep ();
       let sweep_rows = selection_sweep () in
       if sharing then assert_sharing sweep_rows;
+      serve_sweep ();
       selftest_report ();
       timing ()
     end

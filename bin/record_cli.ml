@@ -498,94 +498,8 @@ let fuzz_t =
 
 (* ---- batch ------------------------------------------------------------------- *)
 
-(* One entry of a jobs file (see README "Batch compilation"):
-     { "kernel": "fir" | "file": "path.dfl",
-       "target": "tic25", "options": "record" | "conventional",
-       "kind": "compile" | "simulate" | "timing",
-       "label": ..., "inputs": {"x": [1,2]}, "deadline": 200 }
-   Kernel jobs default to the kernel's bundled inputs and kind simulate;
-   file jobs default to kind compile. *)
-let job_of_json id j =
-  let ( let* ) = Result.bind in
-  let str_field name = Option.bind (Driver.Json.member name j) Driver.Json.to_string_lit in
-  let* source, prog, default_inputs, default_kind =
-    match (str_field "kernel", str_field "file") with
-    | Some k, None -> (
-      match Dspstone.Kernels.find k with
-      | kernel ->
-        Ok
-          ( "kernel " ^ k,
-            Dspstone.Kernels.prog kernel,
-            kernel.Dspstone.Kernels.inputs,
-            Driver.Job.Simulate )
-      | exception Not_found -> Error (Printf.sprintf "job %d: unknown kernel %s" id k))
-    | None, Some f -> (
-      match Dfl.Lower.source (read_file f) with
-      | prog -> Ok ("file " ^ f, prog, [], Driver.Job.Compile)
-      | exception (Dfl.Lexer.Error msg | Dfl.Parser.Error msg | Dfl.Lower.Error msg) ->
-        Error (Printf.sprintf "job %d: %s: %s" id f msg)
-      | exception Sys_error msg -> Error (Printf.sprintf "job %d: %s" id msg))
-    | Some _, Some _ -> Error (Printf.sprintf "job %d: both \"kernel\" and \"file\"" id)
-    | None, None -> Error (Printf.sprintf "job %d: needs \"kernel\" or \"file\"" id)
-  in
-  let target = Option.value (str_field "target") ~default:"tic25" in
-  let* options_label, options =
-    match Option.value (str_field "options") ~default:"record" with
-    | "record" -> Ok ("record", Record.Options.record_)
-    | "conventional" -> Ok ("conventional", Record.Options.conventional)
-    | other -> Error (Printf.sprintf "job %d: unknown options %S" id other)
-  in
-  let deadline = Option.bind (Driver.Json.member "deadline" j) Driver.Json.to_int in
-  let* kind =
-    match str_field "kind" with
-    | None -> Ok (if deadline <> None then Driver.Job.Timing { deadline } else default_kind)
-    | Some "compile" -> Ok Driver.Job.Compile
-    | Some "simulate" -> Ok Driver.Job.Simulate
-    | Some "timing" -> Ok (Driver.Job.Timing { deadline })
-    | Some other -> Error (Printf.sprintf "job %d: unknown kind %S" id other)
-  in
-  let* inputs =
-    match Driver.Json.member "inputs" j with
-    | None -> Ok default_inputs
-    | Some (Driver.Json.Obj fields) ->
-      List.fold_left
-        (fun acc (name, v) ->
-          let* acc = acc in
-          match
-            Option.map
-              (List.map Driver.Json.to_int)
-              (Driver.Json.to_list v)
-          with
-          | Some values when List.for_all Option.is_some values ->
-            Ok ((name, Array.of_list (List.map Option.get values)) :: acc)
-          | Some _ | None ->
-            Error (Printf.sprintf "job %d: input %s must be an integer array" id name))
-        (Ok []) fields
-      |> Result.map List.rev
-    | Some _ -> Error (Printf.sprintf "job %d: \"inputs\" must be an object" id)
-  in
-  Ok
-    (Driver.Job.make ~id ?label:(str_field "label") ~source ~target
-       ~options_label ~options ~inputs ~kind prog)
-
-let jobs_of_json doc =
-  let entries =
-    match doc with
-    | Driver.Json.List entries -> Ok entries
-    | Driver.Json.Obj _ -> (
-      match Driver.Json.member "jobs" doc with
-      | Some (Driver.Json.List entries) -> Ok entries
-      | Some _ | None -> Error "jobs file: expected a \"jobs\" array")
-    | _ -> Error "jobs file: expected an array or an object with \"jobs\""
-  in
-  Result.bind entries (fun entries ->
-      List.fold_left
-        (fun (acc : (Driver.Job.t list, string) result) (i, entry) ->
-          Result.bind acc (fun jobs ->
-              Result.map (fun j -> j :: jobs) (job_of_json i entry)))
-        (Ok [])
-        (List.mapi (fun i e -> (i, e)) entries)
-      |> Result.map List.rev)
+(* Job decoding lives in Driver.Protocol so [record serve] speaks the
+   exact same dialect; see its mli for the jobs-file format. *)
 
 let pp_batch_status ppf (r : Driver.Job.result) =
   match r.Driver.Job.status with
@@ -604,20 +518,25 @@ let pp_batch_status ppf (r : Driver.Job.result) =
   | Driver.Job.Timed_out s -> Format.fprintf ppf "TIMEOUT after %.1f s" s
   | Driver.Job.Crashed msg -> Format.fprintf ppf "CRASHED %s" msg
 
-let batch_cmd jobs_file jobs_n timeout no_cache cache_dir out json
-    deterministic require_hit_rate =
+let batch_cmd jobs_file jobs_n domains timeout no_cache cache_dir out json
+    compact deterministic require_hit_rate =
   let doc =
     match Driver.Json.of_string (read_file jobs_file) with
     | Ok doc -> doc
     | Error msg -> or_die (Error (jobs_file ^ ": " ^ msg))
     | exception Sys_error msg -> or_die (Error msg)
   in
-  let jobs = or_die (jobs_of_json doc) in
+  let jobs = or_die (Driver.Protocol.jobs_of_json doc) in
+  if domains <> None && timeout <> None then
+    or_die
+      (Error
+         "--timeout is per-job and signal-based, which cannot be scoped to \
+          one domain; it is not available with --domains");
   let cache = cache_of ~no_cache ~cache_dir in
-  let report = Driver.Batch.run ?jobs:jobs_n ?timeout ?cache jobs in
+  let report = Driver.Batch.run ?jobs:jobs_n ?domains ?timeout ?cache jobs in
   let results = report.Driver.Batch.results in
   let doc =
-    Driver.Json.to_string ~indent:true
+    Driver.Json.to_string ~indent:(not compact)
       (Driver.Job.results_to_json ~deterministic ~jobs results)
   in
   (match out with
@@ -627,7 +546,7 @@ let batch_cmd jobs_file jobs_n timeout no_cache cache_dir out json
     output_char oc '\n';
     close_out oc
   | None -> ());
-  if json && out = None then print_endline doc
+  if (json || compact) && out = None then print_endline doc
   else begin
     List.iter
       (fun (r : Driver.Job.result) ->
@@ -638,7 +557,22 @@ let batch_cmd jobs_file jobs_n timeout no_cache cache_dir out json
     Format.printf
       "@.%d jobs, %d completed, %d cache hits; %d workers, %.1f ms@."
       (List.length jobs) completed hits report.Driver.Batch.workers
-      report.Driver.Batch.wall_ms
+      report.Driver.Batch.wall_ms;
+    (match cache with
+    | None -> ()
+    | Some cache ->
+      let c = Driver.Cache.counters cache in
+      (* In fork mode these are the parent's counters only: workers mutate
+         snapshots of the memory tier, and only their disk stores survive.
+         With --domains (or one worker) they cover the whole run. *)
+      Format.printf
+        "cache: %d memory hits, %d disk hits, %d misses, %d stores, %d \
+         evictions%s@."
+        c.Driver.Cache.memory_hits c.Driver.Cache.disk_hits
+        c.Driver.Cache.misses c.Driver.Cache.stores c.Driver.Cache.evictions
+        (if domains = None && report.Driver.Batch.workers > 1 then
+           " (parent process only; fork workers count separately)"
+         else ""))
   end;
   let failed =
     List.exists
@@ -675,6 +609,13 @@ let jobs_n_arg =
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Worker processes (default: CPU count)")
 
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Run jobs on N OCaml domains in this process instead of fork \
+               workers; domains share the intern table, the per-target \
+               matcher tables, and the in-memory cache tier (the serve \
+               daemon's scheduler)")
+
 let timeout_arg =
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
          ~doc:"Per-job wall-clock timeout")
@@ -687,6 +628,12 @@ let batch_json_arg =
   Arg.(value & flag & info [ "json" ]
          ~doc:"Print the JSON result document to stdout instead of the text \
                summary")
+
+let compact_arg =
+  Arg.(value & flag & info [ "compact" ]
+         ~doc:"Encode the JSON result document on one line (the encoding \
+               $(b,record serve) replies with), and print it instead of \
+               the text summary")
 
 let deterministic_arg =
   Arg.(value & flag & info [ "deterministic" ]
@@ -704,9 +651,53 @@ let batch_t =
        ~doc:"Compile a JSON job list in parallel through the compilation \
              cache (exit 1 on any failed job)")
     Term.(
-      const batch_cmd $ jobs_file_arg $ jobs_n_arg $ timeout_arg
-      $ no_cache_arg $ cache_dir_arg $ out_arg $ batch_json_arg
-      $ deterministic_arg $ require_hit_rate_arg)
+      const batch_cmd $ jobs_file_arg $ jobs_n_arg $ domains_arg
+      $ timeout_arg $ no_cache_arg $ cache_dir_arg $ out_arg
+      $ batch_json_arg $ compact_arg $ deterministic_arg
+      $ require_hit_rate_arg)
+
+(* ---- serve ------------------------------------------------------------------- *)
+
+let serve_cmd domains socket deterministic no_cache cache_dir =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Driver.Pool.default_domains ()
+  in
+  let cache = cache_of ~no_cache ~cache_dir in
+  let config = { Driver.Serve.domains; deterministic; cache } in
+  match socket with
+  | None -> Driver.Serve.run_stdio config
+  | Some path -> Driver.Serve.run_socket config ~path
+
+let serve_domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker domains in the pool (default: CPU count - 1, at \
+               least 1)")
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Listen on a Unix-domain socket at PATH (one thread per \
+               connection, all feeding one domain pool) instead of serving \
+               stdin/stdout")
+
+let serve_deterministic_arg =
+  Arg.(value & flag & info [ "deterministic" ]
+         ~doc:"Default requests to deterministic output (omit wall-clock \
+               times, phase traces, cache provenance); a request's own \
+               \"deterministic\" member overrides this")
+
+let serve_t =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Persistent compile daemon: newline-delimited JSON requests \
+             (the batch jobs format, or {\"op\": \"ping\"|\"stats\"|\
+             \"shutdown\"}) answered with one-line record-batch-1 result \
+             documents; jobs run on a pool of domains sharing one intern \
+             table, warm matchers, and one cache across all requests")
+    Term.(
+      const serve_cmd $ serve_domains_arg $ socket_arg
+      $ serve_deterministic_arg $ no_cache_arg $ cache_dir_arg)
 
 (* ---- table1 ------------------------------------------------------------------ *)
 
@@ -727,6 +718,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_t; batch_t; targets_t; ise_t; selftest_t; table1_t;
-            rules_t; timing_t; asm_t; fuzz_t;
+            compile_t; batch_t; serve_t; targets_t; ise_t; selftest_t;
+            table1_t; rules_t; timing_t; asm_t; fuzz_t;
           ]))

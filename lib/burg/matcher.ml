@@ -24,21 +24,34 @@ let shape_of_node = function
   | Ir.Tree.Unop (op, _) -> S_unop op
   | Ir.Tree.Binop (op, _, _) -> S_binop op
 
+(* One stripe of the DP table.  A labelling is built privately by the
+   computing domain and only then published into the stripe under its
+   lock; after publication it is read-only, so readers (who also take the
+   stripe lock for the probe itself) can use it without further
+   synchronization.  The per-stripe counters ride under the same lock. *)
+type stripe = {
+  lock : Mutex.t;
+  table : (int, labelling) Hashtbl.t;
+  mutable nodes_labelled : int;
+  mutable memo_hits : int;
+}
+
+let stripe_count = 16
+
 type t = {
   grammar : Grammar.t;
   (* Non-chain rules bucketed by root shape, original order within each
      bucket (ties in [improve] keep the earlier rule, as with a flat
-     list). *)
+     list).  Built once in [create], never mutated after — concurrent
+     reads from many domains are safe. *)
   base_by_shape : (shape, Rule.t list) Hashtbl.t;
   chain_rules : Rule.t list;
   (* The DP table, keyed by hash-cons id: one entry per distinct subtree
-     structure ever labelled, shared across variants, trees, and (for a
-     long-lived matcher) whole compilation jobs.  An id key is O(1) to hash
-     and compare where the previous structural Tree.t key cost O(size) per
-     probe. *)
-  memo : (int, labelling) Hashtbl.t;
-  mutable nodes_labelled : int;
-  mutable memo_hits : int;
+     structure ever labelled, shared across variants, trees, whole
+     compilation jobs, and — lock-striped — across the serve pool's
+     domains.  An id key is O(1) to hash and compare where the previous
+     structural Tree.t key cost O(size) per probe. *)
+  stripes : stripe array;
 }
 
 let create grammar =
@@ -58,14 +71,34 @@ let create grammar =
     grammar;
     base_by_shape;
     chain_rules;
-    memo = Hashtbl.create 256;
-    nodes_labelled = 0;
-    memo_hits = 0;
+    stripes =
+      Array.init stripe_count (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create 64;
+            nodes_labelled = 0;
+            memo_hits = 0;
+          });
   }
 
 let grammar m = m.grammar
 
-let counters m = { nodes_labelled = m.nodes_labelled; memo_hits = m.memo_hits }
+let stripe_of m key = m.stripes.(key land (stripe_count - 1))
+
+let counters m =
+  Array.fold_left
+    (fun (acc : counters) (s : stripe) ->
+      Mutex.lock s.lock;
+      let r =
+        {
+          nodes_labelled = acc.nodes_labelled + s.nodes_labelled;
+          memo_hits = acc.memo_hits + s.memo_hits;
+        }
+      in
+      Mutex.unlock s.lock;
+      r)
+    { nodes_labelled = 0; memo_hits = 0 }
+    m.stripes
 
 (* Match a pattern against a subject handle — shapes via the canonical
    node, descent via the child handles, so no tree is ever rebuilt or
@@ -99,17 +132,35 @@ let improve (lab : labelling) nt entry =
     Hashtbl.replace lab nt entry;
     true
 
+(* The probe holds the stripe lock for the lookup only; [compute] recurses
+   into child stripes with no lock held, so there is no lock-ordering
+   issue.  Two domains racing on one node both compute it (labellings are
+   deterministic, so either result is the same); the loser's copy is
+   discarded in favour of the published one, keeping one table entry per
+   node. *)
 let rec labelling m (h : Ir.Hashcons.h) : labelling =
   let key = h.Ir.Hashcons.id in
-  match Hashtbl.find_opt m.memo key with
+  let s = stripe_of m key in
+  Mutex.lock s.lock;
+  match Hashtbl.find_opt s.table key with
   | Some lab ->
-    m.memo_hits <- m.memo_hits + 1;
+    s.memo_hits <- s.memo_hits + 1;
+    Mutex.unlock s.lock;
     lab
   | None ->
-    m.nodes_labelled <- m.nodes_labelled + 1;
+    Mutex.unlock s.lock;
     let lab = compute m h in
-    Hashtbl.replace m.memo key lab;
-    lab
+    Mutex.lock s.lock;
+    let published =
+      match Hashtbl.find_opt s.table key with
+      | Some winner -> winner
+      | None ->
+        s.nodes_labelled <- s.nodes_labelled + 1;
+        Hashtbl.replace s.table key lab;
+        lab
+    in
+    Mutex.unlock s.lock;
+    published
 
 and compute m (h : Ir.Hashcons.h) =
   let t = h.Ir.Hashcons.node in
@@ -205,4 +256,10 @@ let best_of_variants ?nt m variants =
   | None -> None
   | Some (h, c) -> Some (Ir.Hashcons.node h, c)
 
-let clear m = Hashtbl.reset m.memo
+let clear m =
+  Array.iter
+    (fun (s : stripe) ->
+      Mutex.lock s.lock;
+      Hashtbl.reset s.table;
+      Mutex.unlock s.lock)
+    m.stripes

@@ -9,7 +9,13 @@
     labelled once per matcher lifetime, at O(1) lookup cost per node. A
     matcher depends only on its grammar, never on program state, so one
     long-lived matcher per target can serve any number of compilations
-    (which is how the driver's batch service uses it). *)
+    (which is how the driver's batch service uses it).
+
+    A matcher is domain-safe: the DP table is lock-striped, so the serve
+    pool's domains share one warm table per target. Lookups take one
+    stripe lock; labelling recursion runs lock-free; two domains racing
+    to label the same node both compute the (deterministic) labelling and
+    the table keeps exactly one copy. *)
 
 type t
 

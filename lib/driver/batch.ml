@@ -123,24 +123,47 @@ let parallel ?cache ?timeout ~workers jobs =
         })
     jobs
 
-let run ?jobs ?timeout ?cache job_list =
+let run ?jobs ?domains ?timeout ?cache job_list =
   let t0 = Unix.gettimeofday () in
-  let requested =
-    match jobs with Some j -> max 1 j | None -> default_jobs ()
-  in
-  let workers = min requested (max 1 (List.length job_list)) in
-  let results =
-    if workers = 1 || not have_fork then sequential ?cache ?timeout job_list
-    else parallel ?cache ?timeout ~workers job_list
-  in
-  let results =
-    List.sort (fun (a : Job.result) b -> compare a.Job.job b.Job.job) results
-  in
-  {
-    results;
-    workers = (if have_fork then workers else 1);
-    wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
-  }
+  match domains with
+  | Some d ->
+    (* Domain mode: the jobs share one address space (intern table,
+       matcher DP tables, cache memory tier), so cache warm-up carries
+       across workers — the whole point of [record serve].  Per-job
+       timeouts are ITIMER/SIGALRM-based and signals are process-wide,
+       so they cannot be scoped to one domain; refuse the combination
+       rather than silently time out the wrong job. *)
+    if timeout <> None then
+      invalid_arg "Batch.run: ?timeout is not supported with ?domains";
+    let d = max 1 d in
+    let pool = Pool.create ~domains:d () in
+    let results =
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> Pool.run_jobs pool ?cache job_list)
+    in
+    {
+      results;
+      workers = d;
+      wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+    }
+  | None ->
+    let requested =
+      match jobs with Some j -> max 1 j | None -> default_jobs ()
+    in
+    let workers = min requested (max 1 (List.length job_list)) in
+    let results =
+      if workers = 1 || not have_fork then sequential ?cache ?timeout job_list
+      else parallel ?cache ?timeout ~workers job_list
+    in
+    let results =
+      List.sort (fun (a : Job.result) b -> compare a.Job.job b.Job.job) results
+    in
+    {
+      results;
+      workers = (if have_fork then workers else 1);
+      wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+    }
 
 let hits report =
   List.length

@@ -19,7 +19,16 @@
 
     Workers inherit the parent's cache by [fork] snapshot; entries they
     store reach other processes through the disk tier, and the parent's
-    in-memory tier is unaffected. *)
+    in-memory tier is unaffected.
+
+    With [?domains] the fork fan-out is replaced by a {!Pool} of OCaml 5
+    domains in this process: every worker then shares one intern table,
+    one matcher DP table per target, and one cache (memory tier
+    included), so one job's work warms all the others — the serve
+    daemon's scheduler, reachable from the CLI as
+    [record batch --domains N]. Results remain in job-id order. Per-job
+    timeouts are signal-based and process-wide, so combining [?timeout]
+    with [?domains] raises [Invalid_argument]. *)
 
 type report = {
   results : Job.result list;  (** in job-id order *)
@@ -32,9 +41,16 @@ val default_jobs : unit -> int
     ([Domain.recommended_domain_count]). *)
 
 val run :
-  ?jobs:int -> ?timeout:float -> ?cache:Cache.t -> Job.t list -> report
+  ?jobs:int ->
+  ?domains:int ->
+  ?timeout:float ->
+  ?cache:Cache.t ->
+  Job.t list ->
+  report
 (** [jobs] defaults to {!default_jobs}; [timeout] (seconds) applies per
-    job, default none. *)
+    job, default none. [domains] switches from fork workers to an
+    in-process domain pool of that size ([jobs] is then ignored);
+    [timeout] with [domains] raises [Invalid_argument]. *)
 
 val hits : report -> int
 (** Completed jobs served from the cache. *)

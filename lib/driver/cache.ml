@@ -14,10 +14,16 @@ type counters = {
   disk_hits : int;
   misses : int;
   stores : int;
+  evictions : int;
   corrupt : int;
 }
 
+(* One mutex guards the memory tier and the counters; every domain of the
+   serve pool shares one cache value.  Disk I/O runs outside the lock —
+   the disk tier is already safe under concurrent processes (atomic
+   rename, verified envelopes), which covers concurrent domains too. *)
 type t = {
+  lock : Mutex.t;
   slots : (string, entry * int ref) Hashtbl.t;  (* key -> entry, last-use tick *)
   capacity : int;
   mutable tick : int;
@@ -26,8 +32,13 @@ type t = {
   mutable disk_hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable evictions : int;
   mutable corrupt : int;
 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let default_dir () =
   match Sys.getenv_opt "XDG_CACHE_HOME" with
@@ -54,6 +65,7 @@ let create ?(memory_slots = 256) ?dir () =
     | Some d -> ( try mkdir_p d; Some d with Unix.Unix_error _ | Sys_error _ -> None)
   in
   {
+    lock = Mutex.create ();
     slots = Hashtbl.create 64;
     capacity = max 1 memory_slots;
     tick = 0;
@@ -62,21 +74,24 @@ let create ?(memory_slots = 256) ?dir () =
     disk_hits = 0;
     misses = 0;
     stores = 0;
+    evictions = 0;
     corrupt = 0;
   }
 
 let dir t = t.dir
 
 let counters t =
-  {
-    memory_hits = t.memory_hits;
-    disk_hits = t.disk_hits;
-    misses = t.misses;
-    stores = t.stores;
-    corrupt = t.corrupt;
-  }
+  locked t (fun () ->
+      {
+        memory_hits = t.memory_hits;
+        disk_hits = t.disk_hits;
+        misses = t.misses;
+        stores = t.stores;
+        evictions = t.evictions;
+        corrupt = t.corrupt;
+      })
 
-(* ---- memory tier --------------------------------------------------------- *)
+(* ---- memory tier (call with the lock held) -------------------------------- *)
 
 let touch t last = t.tick <- t.tick + 1; last := t.tick
 
@@ -94,7 +109,9 @@ let memory_put t key entry =
           | _ -> victim := Some (k, !last))
         t.slots;
       match !victim with
-      | Some (k, _) -> Hashtbl.remove t.slots k
+      | Some (k, _) ->
+        Hashtbl.remove t.slots k;
+        t.evictions <- t.evictions + 1
       | None -> ()
     end;
     let last = ref 0 in
@@ -111,15 +128,16 @@ let magic = "RECORD-CACHE-2\n"
 
 let entry_path base key = Filename.concat base key
 
-let disk_read t base key =
+(* Lock-free; reports corruption to the caller instead of mutating
+   counters, so the caller can account for it under the lock. *)
+let disk_read base key =
   let path = entry_path base key in
   let drop () =
-    t.corrupt <- t.corrupt + 1;
     (try Sys.remove path with Sys_error _ -> ());
-    None
+    `Corrupt
   in
   match open_in_bin path with
-  | exception Sys_error _ -> None
+  | exception Sys_error _ -> `Absent
   | ic -> (
     let result =
       try
@@ -141,7 +159,7 @@ let disk_read t base key =
     in
     close_in_noerr ic;
     match result with
-    | Some e -> Some e
+    | Some e -> `Hit e
     | None -> drop ())
 
 let disk_write base key entry =
@@ -167,29 +185,42 @@ let disk_write base key entry =
 (* ---- public api ---------------------------------------------------------- *)
 
 let find t key =
-  match Hashtbl.find_opt t.slots key with
-  | Some (entry, last) ->
-    touch t last;
-    t.memory_hits <- t.memory_hits + 1;
-    Some (entry, Memory)
+  let memory =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.slots key with
+        | Some (entry, last) ->
+          touch t last;
+          t.memory_hits <- t.memory_hits + 1;
+          Some entry
+        | None -> None)
+  in
+  match memory with
+  | Some entry -> Some (entry, Memory)
   | None -> (
     match t.dir with
     | None ->
-      t.misses <- t.misses + 1;
+      locked t (fun () -> t.misses <- t.misses + 1);
       None
     | Some base -> (
-      match disk_read t base key with
-      | Some entry ->
-        t.disk_hits <- t.disk_hits + 1;
-        memory_put t key entry;
+      match disk_read base key with
+      | `Hit entry ->
+        locked t (fun () ->
+            t.disk_hits <- t.disk_hits + 1;
+            memory_put t key entry);
         Some (entry, Disk)
-      | None ->
-        t.misses <- t.misses + 1;
+      | `Corrupt ->
+        locked t (fun () ->
+            t.corrupt <- t.corrupt + 1;
+            t.misses <- t.misses + 1);
+        None
+      | `Absent ->
+        locked t (fun () -> t.misses <- t.misses + 1);
         None))
 
 let store t key entry =
-  t.stores <- t.stores + 1;
-  memory_put t key entry;
+  locked t (fun () ->
+      t.stores <- t.stores + 1;
+      memory_put t key entry);
   match t.dir with
   | None -> ()
   | Some base -> disk_write base key entry

@@ -14,7 +14,14 @@
     on one key both succeed (last rename wins — entries for one key are
     byte-interchangeable by construction). Reads verify the envelope and
     the payload digest; anything unreadable, truncated, or corrupt is
-    treated as a miss and the bad file is removed. *)
+    treated as a miss and the bad file is removed.
+
+    A cache value is domain-safe: the memory tier and the counters sit
+    behind one mutex (critical sections are O(1) table operations plus the
+    rare LRU eviction scan), while disk I/O runs unlocked — the on-disk
+    protocol already tolerates concurrent writers, whether they are
+    processes or domains. The serve pool shares a single cache across all
+    worker domains, which is what makes its warm tier process-wide. *)
 
 type entry = {
   asm : Target.Asm.t;
@@ -34,6 +41,7 @@ type counters = {
   disk_hits : int;
   misses : int;
   stores : int;
+  evictions : int;  (** memory-tier LRU slots displaced by new entries *)
   corrupt : int;  (** disk entries rejected by envelope verification *)
 }
 

@@ -200,6 +200,11 @@ let of_string s =
         let rec fields_loop () =
           skip_ws ();
           let name = string_lit () in
+          (* RFC 8259 leaves duplicate names undefined; different readers
+             keep different occurrences, which makes duplicates a classic
+             smuggling vector in a job protocol.  Reject them outright. *)
+          if List.mem_assoc name !fields then
+            fail (Printf.sprintf "duplicate object key %S" name);
           skip_ws ();
           expect ':';
           let v = value () in

@@ -1,3 +1,6 @@
+(* The memo race under concurrent domains is benign: both losers compute
+   the same digest of the same file and the cell only ever moves from
+   [None] to that one value. *)
 let executable_salt =
   let memo = ref None in
   fun () ->

@@ -1,0 +1,98 @@
+(* Parsing of the JSON job protocol — one entry of a jobs file
+   (see README "Batch compilation"):
+
+     { "kernel": "fir" | "file": "path.dfl",
+       "target": "tic25", "options": "record" | "conventional",
+       "kind": "compile" | "simulate" | "timing",
+       "label": ..., "inputs": {"x": [1,2]}, "deadline": 200 }
+
+   Kernel jobs default to the kernel's bundled inputs and kind simulate;
+   file jobs default to kind compile.  This used to live in the CLI's
+   batch subcommand; it moved into the library so the serve daemon and
+   the batch path decode requests with the same code (same defaults,
+   same error messages). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let job_of_json id j =
+  let ( let* ) = Result.bind in
+  let str_field name = Option.bind (Json.member name j) Json.to_string_lit in
+  let* source, prog, default_inputs, default_kind =
+    match (str_field "kernel", str_field "file") with
+    | Some k, None -> (
+      match Dspstone.Kernels.find k with
+      | kernel ->
+        Ok
+          ( "kernel " ^ k,
+            Dspstone.Kernels.prog kernel,
+            kernel.Dspstone.Kernels.inputs,
+            Job.Simulate )
+      | exception Not_found -> Error (Printf.sprintf "job %d: unknown kernel %s" id k))
+    | None, Some f -> (
+      match Dfl.Lower.source (read_file f) with
+      | prog -> Ok ("file " ^ f, prog, [], Job.Compile)
+      | exception (Dfl.Lexer.Error msg | Dfl.Parser.Error msg | Dfl.Lower.Error msg) ->
+        Error (Printf.sprintf "job %d: %s: %s" id f msg)
+      | exception Sys_error msg -> Error (Printf.sprintf "job %d: %s" id msg))
+    | Some _, Some _ -> Error (Printf.sprintf "job %d: both \"kernel\" and \"file\"" id)
+    | None, None -> Error (Printf.sprintf "job %d: needs \"kernel\" or \"file\"" id)
+  in
+  let target = Option.value (str_field "target") ~default:"tic25" in
+  let* options_label, options =
+    match Option.value (str_field "options") ~default:"record" with
+    | "record" -> Ok ("record", Record.Options.record_)
+    | "conventional" -> Ok ("conventional", Record.Options.conventional)
+    | other -> Error (Printf.sprintf "job %d: unknown options %S" id other)
+  in
+  let deadline = Option.bind (Json.member "deadline" j) Json.to_int in
+  let* kind =
+    match str_field "kind" with
+    | None -> Ok (if deadline <> None then Job.Timing { deadline } else default_kind)
+    | Some "compile" -> Ok Job.Compile
+    | Some "simulate" -> Ok Job.Simulate
+    | Some "timing" -> Ok (Job.Timing { deadline })
+    | Some other -> Error (Printf.sprintf "job %d: unknown kind %S" id other)
+  in
+  let* inputs =
+    match Json.member "inputs" j with
+    | None -> Ok default_inputs
+    | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (name, v) ->
+          let* acc = acc in
+          match Option.map (List.map Json.to_int) (Json.to_list v) with
+          | Some values when List.for_all Option.is_some values ->
+            Ok ((name, Array.of_list (List.map Option.get values)) :: acc)
+          | Some _ | None ->
+            Error (Printf.sprintf "job %d: input %s must be an integer array" id name))
+        (Ok []) fields
+      |> Result.map List.rev
+    | Some _ -> Error (Printf.sprintf "job %d: \"inputs\" must be an object" id)
+  in
+  Ok
+    (Job.make ~id ?label:(str_field "label") ~source ~target ~options_label
+       ~options ~inputs ~kind prog)
+
+let jobs_of_json doc =
+  let entries =
+    match doc with
+    | Json.List entries -> Ok entries
+    | Json.Obj _ -> (
+      match Json.member "jobs" doc with
+      | Some (Json.List entries) -> Ok entries
+      | Some _ | None -> Error "jobs file: expected a \"jobs\" array")
+    | _ -> Error "jobs file: expected an array or an object with \"jobs\""
+  in
+  Result.bind entries (fun entries ->
+      List.fold_left
+        (fun (acc : (Job.t list, string) result) (i, entry) ->
+          Result.bind acc (fun jobs ->
+              Result.map (fun j -> j :: jobs) (job_of_json i entry)))
+        (Ok [])
+        (List.mapi (fun i e -> (i, e)) entries)
+      |> Result.map List.rev)

@@ -2,7 +2,19 @@
    in per-compile contexts inside the pipeline), so the list is built once
    and shared.  Memoizing matters beyond avoiding rework: matcher_for keys
    warm matchers on physical grammar identity, and Asip.machine would
-   otherwise rebuild a fresh grammar per call. *)
+   otherwise rebuild a fresh grammar per call.
+
+   Both memo cells below are touched from every domain of the serve pool,
+   so they sit behind one mutex: [Lazy.force] is not domain-safe (a racing
+   force raises [Lazy.Undefined]), and the matcher table is a plain
+   Hashtbl.  The critical sections build at most one machine list or one
+   matcher, then everything runs on the shared immutable values. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let machines_list =
   lazy
     [
@@ -12,7 +24,7 @@ let machines_list =
       Target.Asip.machine Target.Asip.default;
     ]
 
-let machines () = Lazy.force machines_list
+let machines () = locked (fun () -> Lazy.force machines_list)
 
 let names () = List.map (fun (m : Target.Machine.t) -> m.name) (machines ())
 
@@ -29,12 +41,16 @@ let find_machine name =
 let matchers : (string, Burg.Matcher.t) Hashtbl.t = Hashtbl.create 8
 
 let matcher_for (m : Target.Machine.t) =
-  match Hashtbl.find_opt matchers m.name with
-  | Some mt when Burg.Matcher.grammar mt == m.Target.Machine.grammar -> mt
-  | Some _ | None ->
-    (* Unknown name, or a caller-constructed machine (e.g. a non-default
-       asip) reusing a registry name with a different grammar: build a
-       matcher for this grammar and remember it. *)
-    let mt = Burg.Matcher.create m.Target.Machine.grammar in
-    Hashtbl.replace matchers m.name mt;
-    mt
+  locked (fun () ->
+      match Hashtbl.find_opt matchers m.name with
+      | Some mt when Burg.Matcher.grammar mt == m.Target.Machine.grammar -> mt
+      | Some _ | None ->
+        (* Unknown name, or a caller-constructed machine (e.g. a non-default
+           asip) reusing a registry name with a different grammar: build a
+           matcher for this grammar and remember it. *)
+        let mt = Burg.Matcher.create m.Target.Machine.grammar in
+        Hashtbl.replace matchers m.name mt;
+        mt)
+
+let warm () =
+  List.iter (fun m -> ignore (matcher_for m)) (machines ())

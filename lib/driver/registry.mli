@@ -19,4 +19,11 @@ val matcher_for : Target.Machine.t -> Burg.Matcher.t
     DP table ({!Burg.Matcher}) stays warm across compilations, so batch
     jobs for one target share labellings of repeated subtrees. Returns a
     fresh matcher (and caches it) when the machine's grammar is not
-    physically the one already registered under that name. *)
+    physically the one already registered under that name. Domain-safe:
+    lookups are serialized behind the registry mutex, and the matchers
+    themselves are safe to share across domains. *)
+
+val warm : unit -> unit
+(** Force the machine list and build the matcher of every bundled target.
+    The serve pool calls this once before spawning worker domains so the
+    hot path never constructs shared state concurrently. *)

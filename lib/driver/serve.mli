@@ -1,0 +1,30 @@
+(** The persistent compile daemon behind [record serve].
+
+    A long-lived process hosting one {!Pool} of worker domains and the
+    shared selection state the pool amortizes across requests: the striped
+    intern table, one warm BURG matcher per target, and one two-tier
+    cache. Requests are newline-delimited JSON documents — each line is a
+    jobs document in the batch jobs-file format (optionally wrapped as
+    [{"jobs": [...], "deterministic": bool}]) or an op object
+    ([{"op": "ping" | "stats" | "shutdown"}]) — and each reply is one
+    line: the record-batch-1 results document, compact-encoded, or a
+    record-serve-1 status document. Responses are byte-deterministic under
+    [deterministic] exactly like [record batch --deterministic], whatever
+    the pool size. *)
+
+type config = {
+  domains : int;  (** worker domains in the pool *)
+  deterministic : bool;
+      (** default for requests without a ["deterministic"] member *)
+  cache : Cache.t option;  (** shared by every worker domain *)
+}
+
+val run_stdio : config -> unit
+(** Serve requests from stdin, replies to stdout, until EOF or a
+    shutdown request. *)
+
+val run_socket : config -> path:string -> unit
+(** Listen on a Unix-domain socket (the path is replaced if it exists,
+    removed on exit). Connections are handled concurrently, one systhread
+    each, all feeding one pool; a shutdown request from any connection
+    stops the daemon. *)

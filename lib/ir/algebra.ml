@@ -86,9 +86,18 @@ let root_rewrites rules (h : Hashcons.h) =
    subtree are computed once and the spine above each rewrite is rebuilt
    with O(1) handle constructors.  Per-node lists are a handful of
    entries, so the appends below are cheap (the pre-handle version paid
-   an [@] per interior node of every tree, uncached). *)
-let rw_cache : (rule list, (int, Hashcons.h list) Hashtbl.t) Hashtbl.t =
-  Hashtbl.create 4
+   an [@] per interior node of every tree, uncached).
+
+   The memo is domain-local ([Domain.DLS]): each domain of the serve pool
+   keeps its own table rather than contending on a shared one.  The cached
+   value is a pure function of the canonical node and the rule set, so
+   duplicating entries across domains costs memory only, never
+   determinism — and the handles inside the lists are the shared canonical
+   ones from the striped intern table, so the trees themselves are not
+   duplicated. *)
+let rw_cache_key :
+    (rule list, (int, Hashcons.h list) Hashtbl.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
 
 let rec rw rules cache (h : Hashcons.h) =
   let open Hashcons in
@@ -110,6 +119,7 @@ let rec rw rules cache (h : Hashcons.h) =
     l
 
 let hrewrites rules (h : Hashcons.h) =
+  let rw_cache = Domain.DLS.get rw_cache_key in
   let cache =
     match Hashtbl.find_opt rw_cache rules with
     | Some c -> c

@@ -12,28 +12,65 @@ type key =
   | K_unop of Op.unop * int
   | K_binop of Op.binop * int * int
 
-let table : (key, h) Hashtbl.t = Hashtbl.create 4096
-let hits = ref 0
-let misses = ref 0
+(* The intern table is shared by every domain of the process (the compile
+   server's whole point is one interning table for the fleet), so it is
+   lock-striped: keys hash to one of [shard_bits] independent shards, each
+   a plain Hashtbl behind its own mutex.  A probe takes exactly one
+   uncontended lock on the single-domain path (cheap: futex fast path),
+   and concurrent domains interning unrelated structures proceed in
+   parallel.  Two domains racing to intern the *same* structure serialize
+   on its shard: the loser finds the winner's handle, so canonicality
+   (one id, one physical node per structure) holds across domains.
+
+   The per-shard hit/miss counters ride under the shard lock — cheaper
+   than contended process-wide atomics on the hot path. *)
+let shard_bits = 6
+
+let shard_count = 1 lsl shard_bits
+
+type shard = {
+  lock : Mutex.t;
+  table : (key, h) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let shards =
+  Array.init shard_count (fun _ ->
+      {
+        lock = Mutex.create ();
+        table = Hashtbl.create 256;
+        hits = 0;
+        misses = 0;
+      })
+
+let shard_of key = shards.(Hashtbl.hash key land (shard_count - 1))
 
 (* Monotonic across [clear]: an id is never reused, so tables keyed by id
    (matcher memos) can survive a table reset — stale keys simply never hit
-   again. *)
-let next_id = ref 0
+   again.  Atomic because ids are minted concurrently from every domain. *)
+let next_id = Atomic.make 0
 
 type stats = { live : int; hits : int; misses : int }
 
+(* [build] only assembles a node from already-interned children — it never
+   re-enters the table — so running it under the shard lock is safe and
+   makes insertion atomic with the miss check (no duplicate handles under
+   a race). *)
 let probe key build =
-  match Hashtbl.find_opt table key with
+  let s = shard_of key in
+  Mutex.lock s.lock;
+  match Hashtbl.find_opt s.table key with
   | Some h ->
-    incr hits;
+    s.hits <- s.hits + 1;
+    Mutex.unlock s.lock;
     h
   | None ->
-    incr misses;
+    s.misses <- s.misses + 1;
     let node, size, kids = build () in
-    let h = { node; id = !next_id; size; kids } in
-    incr next_id;
-    Hashtbl.replace table key h;
+    let h = { node; id = Atomic.fetch_and_add next_id 1; size; kids } in
+    Hashtbl.replace s.table key h;
+    Mutex.unlock s.lock;
     h
 
 let no_kids = [||]
@@ -76,9 +113,28 @@ let node h = h.node
 let id h = h.id
 let equal a b = (intern a).node == (intern b).node
 
-let stats () = { live = Hashtbl.length table; hits = !hits; misses = !misses }
+let stats () =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let r =
+        {
+          live = acc.live + Hashtbl.length s.table;
+          hits = acc.hits + s.hits;
+          misses = acc.misses + s.misses;
+        }
+      in
+      Mutex.unlock s.lock;
+      r)
+    { live = 0; hits = 0; misses = 0 }
+    shards
 
 let clear () =
-  Hashtbl.reset table;
-  hits := 0;
-  misses := 0
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.reset s.table;
+      s.hits <- 0;
+      s.misses <- 0;
+      Mutex.unlock s.lock)
+    shards

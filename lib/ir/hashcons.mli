@@ -20,7 +20,16 @@
     The intern table is process-wide and grows monotonically; forked batch
     workers inherit a snapshot by copy-on-write. Ids are never reused, even
     across {!clear}, so id-keyed memo tables stay sound — entries for
-    dropped nodes just stop hitting. *)
+    dropped nodes just stop hitting.
+
+    The table is domain-safe: it is lock-striped into independent shards,
+    so any number of OCaml 5 domains (the [record serve] worker pool) may
+    intern concurrently. Probes on distinct shards run in parallel; two
+    domains racing to intern the same structure serialize on its shard and
+    agree on one canonical handle (same id, same physical node). Ids are
+    minted from one atomic counter, so they are process-unique but their
+    numeric order depends on scheduling — nothing may derive meaning from
+    id magnitude beyond identity. *)
 
 type h = private {
   node : Tree.t;  (** the canonical node *)
