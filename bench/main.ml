@@ -758,6 +758,60 @@ let serve_sweep () =
   close_out oc;
   Format.printf "(rows written to BENCH_serve.json)@.@."
 
+(* ---- DSE sweep: architecture farm through the cache ---------------------- *)
+
+(* Samples a seeded slice of the ASIP parameter cube, runs a three-kernel
+   workload against every sample cold and then warm against the same
+   memory-tier cache, and writes BENCH_dse.json — the volatile variant of
+   the record-dse-1 document (cache hit rates and host_cores included),
+   unlike `record dse` whose file output is the byte-stable one. *)
+
+let dse_sweep () =
+  section "DSE sweep: seeded architecture farm through the compile cache";
+  let cache = Driver.Cache.create ~memory_slots:4096 () in
+  let config =
+    {
+      Dse.Sweep.seed = 42;
+      samples = 64;
+      kernels = [ "fir"; "dot_product"; "iir_biquad_one_section" ];
+      domains = 1;
+      cache = Some cache;
+    }
+  in
+  let cold = Dse.Sweep.run config in
+  let warm = Dse.Sweep.run config in
+  Format.printf "%a" Dse.Sweep.pp_summary cold;
+  Format.printf
+    "warm rerun: %d completed, %d cache hits (%.0f%% hit rate)@."
+    warm.Dse.Sweep.completed warm.Dse.Sweep.hits
+    (100.0 *. Dse.Sweep.hit_rate warm);
+  let doc =
+    match Dse.Sweep.to_json ~deterministic:false warm with
+    | Driver.Json.Obj fields ->
+      Driver.Json.Obj
+        (fields
+        @ [
+            ( "cold_hit_rate",
+              Driver.Json.Float (Dse.Sweep.hit_rate cold) );
+            ( "warm_hit_rate",
+              Driver.Json.Float (Dse.Sweep.hit_rate warm) );
+          ])
+    | doc -> doc
+  in
+  let oc = open_out "BENCH_dse.json" in
+  output_string oc (Driver.Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  if Dse.Sweep.hit_rate warm < 0.9 then begin
+    Format.printf "FAIL: warm hit rate below 0.9@.";
+    exit 1
+  end;
+  if cold.Dse.Sweep.front = [] then begin
+    Format.printf "FAIL: empty Pareto front@.";
+    exit 1
+  end;
+  Format.printf "(document written to BENCH_dse.json)@.@."
+
 let selftest_report () =
   section "§4.5: self-test program generation and fault coverage";
   List.iter
@@ -850,16 +904,21 @@ let () =
      BENCH_selection.json); with --assert-sharing the counter-based
      sharing budget is enforced (exit 1 on violation).
      --serve-sweep: only the domain-pool throughput sweep (writes
-     BENCH_serve.json). *)
+     BENCH_serve.json).
+     --dse-sweep: only the seeded architecture-farm sweep (writes
+     BENCH_dse.json; exit 1 on a cold warm-rerun hit rate below 0.9 or an
+     empty Pareto front). *)
   let flag name = Array.exists (String.equal name) Sys.argv in
   let smoke = flag "--smoke" in
   let sweep_only = flag "--selection-sweep" in
   let serve_only = flag "--serve-sweep" in
+  let dse_only = flag "--dse-sweep" in
   let sharing = flag "--assert-sharing" in
   Format.printf
     "RECORD reproduction benchmarks (Marwedel, 'Code Generation for Core \
      Processors', DAC 1997)@.";
   if serve_only then serve_sweep ()
+  else if dse_only then dse_sweep ()
   else if sweep_only then begin
     let rows = selection_sweep () in
     if sharing then assert_sharing rows
@@ -883,6 +942,7 @@ let () =
       let sweep_rows = selection_sweep () in
       if sharing then assert_sharing sweep_rows;
       serve_sweep ();
+      dse_sweep ();
       selftest_report ();
       timing ()
     end

@@ -447,11 +447,17 @@ let fuzz_cmd seed count max_size targets record_only no_shrink =
   if Fuzz.Oracle.failures report > 0 then begin
     List.iter
       (fun (c : Fuzz.Oracle.counterexample) ->
+        (* The failing target is a real flag, so the line is copy-paste
+           runnable; --record-only narrows the rerun when the failing
+           option set was RECORD's (a conventional-baseline failure needs
+           both option sets, which is the default). *)
         Format.printf
-          "reproduce: record fuzz --seed %d --count %d --max-size %d  # failing case %d on %s, options %s@."
+          "reproduce: record fuzz --seed %d --count %d --max-size %d --target %s%s  # failing case %d on %s, options %s@."
           c.Fuzz.Oracle.case.Fuzz.Gen.seed
           (c.Fuzz.Oracle.case.Fuzz.Gen.index + 1)
-          max_size c.Fuzz.Oracle.case.Fuzz.Gen.index c.Fuzz.Oracle.combo
+          max_size c.Fuzz.Oracle.target
+          (if c.Fuzz.Oracle.record_options then " --record-only" else "")
+          c.Fuzz.Oracle.case.Fuzz.Gen.index c.Fuzz.Oracle.combo
           c.Fuzz.Oracle.options_digest)
       report.Fuzz.Oracle.counterexamples;
     prerr_endline "record: fuzz found counterexamples";
@@ -699,6 +705,96 @@ let serve_t =
       const serve_cmd $ serve_domains_arg $ socket_arg
       $ serve_deterministic_arg $ no_cache_arg $ cache_dir_arg)
 
+(* ---- dse --------------------------------------------------------------------- *)
+
+let dse_cmd seed samples domains kernels out no_cache cache_dir json
+    require_hit_rate =
+  if samples < 1 then or_die (Error "--samples must be at least 1");
+  let kernels =
+    List.concat_map (String.split_on_char ',') kernels
+    |> List.filter (fun s -> s <> "")
+  in
+  let kernels =
+    match kernels with [] -> Dse.Sweep.default_kernels () | ks -> ks
+  in
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Driver.Pool.default_domains ()
+  in
+  let cache = cache_of ~no_cache ~cache_dir in
+  let config = { Dse.Sweep.seed; samples; kernels; domains; cache } in
+  let result =
+    match Dse.Sweep.run config with
+    | r -> r
+    | exception Invalid_argument msg -> or_die (Error msg)
+  in
+  (* The file is always the deterministic document: a pure function of
+     (seed, samples, kernels), byte-identical cold or warm, so CI can cmp
+     two runs. Volatile facts (hit rate, wall-clock, cache counters) go to
+     the text summary instead. *)
+  let doc =
+    Driver.Json.to_string ~indent:true (Dse.Sweep.to_json ~deterministic:true result)
+  in
+  let oc = open_out out in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  if json then print_endline doc
+  else Format.printf "%a" Dse.Sweep.pp_summary result;
+  (match require_hit_rate with
+  | None -> ()
+  | Some need ->
+    let rate = Dse.Sweep.hit_rate result in
+    if rate < need then begin
+      prerr_endline
+        (Printf.sprintf "record: cache hit rate %.2f below required %.2f" rate
+           need);
+      exit 3
+    end);
+  if result.Dse.Sweep.front = [] then begin
+    prerr_endline
+      "record: empty Pareto front (no sampled architecture carries the whole \
+       workload)";
+    exit 1
+  end
+
+let dse_seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S"
+         ~doc:"PRNG seed; the whole sweep is a pure function of \
+               (seed, samples, kernels)")
+
+let dse_samples_arg =
+  Arg.(value & opt int 128 & info [ "samples" ] ~docv:"N"
+         ~doc:"Number of architectures to draw from the parameter cube")
+
+let dse_kernels_arg =
+  Arg.(value & opt_all string [] & info [ "kernels" ] ~docv:"NAMES"
+         ~doc:"Restrict the workload to these DSPStone kernels (repeatable, \
+               or comma-separated); default: the full Table-1 suite")
+
+let dse_out_arg =
+  Arg.(value & opt string "BENCH_dse.json" & info [ "o"; "output" ]
+         ~docv:"FILE"
+         ~doc:"Where to write the deterministic record-dse-1 document")
+
+let dse_json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Print the JSON document to stdout instead of the text summary")
+
+let dse_t =
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:"Design-space exploration: sample N ASIP architectures from a \
+             seed, compile and simulate the DSPStone workload against each \
+             through the compilation cache on a domain pool, and rank them \
+             on a (code size, cycles, gate cost) Pareto front (exit 1 if \
+             the front is empty)")
+    Term.(
+      const dse_cmd $ dse_seed_arg $ dse_samples_arg $ domains_arg
+      $ dse_kernels_arg $ dse_out_arg $ no_cache_arg $ cache_dir_arg
+      $ dse_json_arg $ require_hit_rate_arg)
+
 (* ---- table1 ------------------------------------------------------------------ *)
 
 let table1_cmd () =
@@ -718,6 +814,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_t; batch_t; serve_t; targets_t; ise_t; selftest_t;
+            compile_t; batch_t; serve_t; dse_t; targets_t; ise_t; selftest_t;
             table1_t; rules_t; timing_t; asm_t; fuzz_t;
           ]))

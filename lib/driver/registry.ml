@@ -28,15 +28,28 @@ let machines () = locked (fun () -> Lazy.force machines_list)
 
 let names () = List.map (fun (m : Target.Machine.t) -> m.name) (machines ())
 
+(* Machines registered at runtime (the DSE sweep's generated targets).
+   Keyed by name, consulted before the bundled list so a registered
+   machine resolves exactly like a bundled one — which is what lets
+   Job.run, the batch schedulers, and the serve pool compile against
+   generated targets without any new plumbing. *)
+let extras : (string, Target.Machine.t) Hashtbl.t = Hashtbl.create 64
+
+let register (m : Target.Machine.t) =
+  locked (fun () -> Hashtbl.replace extras m.Target.Machine.name m)
+
 let find_machine name =
-  match
-    List.find_opt (fun (m : Target.Machine.t) -> m.name = name) (machines ())
-  with
+  match locked (fun () -> Hashtbl.find_opt extras name) with
   | Some m -> Ok m
-  | None ->
-    Error
-      (Printf.sprintf "unknown target %s (available: %s)" name
-         (String.concat ", " (names ())))
+  | None -> (
+    match
+      List.find_opt (fun (m : Target.Machine.t) -> m.name = name) (machines ())
+    with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (Printf.sprintf "unknown target %s (available: %s)" name
+           (String.concat ", " (names ()))))
 
 let matchers : (string, Burg.Matcher.t) Hashtbl.t = Hashtbl.create 8
 

@@ -12,7 +12,17 @@ val machines : unit -> Target.Machine.t list
 val names : unit -> string list
 
 val find_machine : string -> (Target.Machine.t, string) result
-(** [Error] names the unknown target and lists the available ones. *)
+(** Registered machines first, then the bundled list. [Error] names the
+    unknown target and lists the available bundled ones. *)
+
+val register : Target.Machine.t -> unit
+(** Make a constructed machine (a generated ASIP of the DSE sweep, an
+    MDL-loaded description) resolvable by name exactly like a bundled
+    one. Replaces any previous registration under the same name — callers
+    whose names encode the full machine structure (the sweep's canonical
+    parameter names) should re-use an already-registered machine via
+    {!find_machine} instead of re-registering, which keeps the matcher of
+    {!matcher_for} warm across sweeps. Domain-safe. *)
 
 val matcher_for : Target.Machine.t -> Burg.Matcher.t
 (** The process-wide long-lived matcher for this machine's grammar. Its

@@ -19,6 +19,20 @@ type config = {
   cache : Cache.t option;  (** shared by every worker domain *)
 }
 
+type state
+(** Per-daemon mutable counters (jobs served), shared by every connection
+    handler. *)
+
+val fresh_state : unit -> state
+
+val handle : Pool.t -> config -> state -> string -> Json.t * bool
+(** Process one request line against a pool: the reply document, and
+    whether the request asked the daemon to shut down. This is the whole
+    per-line protocol — [run_stdio]/[run_socket] are transports around it —
+    exposed so embedders and tests can drive the daemon without a process
+    boundary (e.g. asserting the [stats] reply surfaces the cache
+    counters, eviction count included). *)
+
 val run_stdio : config -> unit
 (** Serve requests from stdin, replies to stdout, until EOF or a
     shutdown request. *)

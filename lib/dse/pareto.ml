@@ -1,0 +1,18 @@
+let dominates a b =
+  let n = Array.length a in
+  if n = 0 || n <> Array.length b then
+    invalid_arg "Pareto.dominates: dimension mismatch";
+  let no_worse = ref true and better = ref false in
+  for i = 0 to n - 1 do
+    if a.(i) > b.(i) then no_worse := false;
+    if a.(i) < b.(i) then better := true
+  done;
+  !no_worse && !better
+
+let front project items =
+  let scored = List.map (fun x -> (x, project x)) items in
+  List.filter_map
+    (fun (x, v) ->
+      if List.exists (fun (_, w) -> dominates w v) scored then None
+      else Some x)
+    scored

@@ -1,0 +1,19 @@
+(** Pareto-front extraction over integer objective vectors, all dimensions
+    minimized.
+
+    Generic over the scored value: callers supply a projection to an
+    objective vector (the sweep projects a {!Score.t} to
+    [|words; cycles; gates|]). Deterministic: the front preserves input
+    order, so a front over a seeded sample sequence is byte-stable. *)
+
+val dominates : int array -> int array -> bool
+(** [dominates a b]: [a] is no worse than [b] in every dimension and
+    strictly better in at least one. Irreflexive; equal vectors do not
+    dominate each other.
+    @raise Invalid_argument on dimension mismatch or empty vectors. *)
+
+val front : ('a -> int array) -> 'a list -> 'a list
+(** The non-dominated subset, in input order. Duplicates of one objective
+    vector are all kept (neither strictly dominates the other); the empty
+    list yields the empty front. O(n²) in the number of points, which is
+    the sweep's hundreds, not millions. *)

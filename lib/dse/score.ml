@@ -1,0 +1,108 @@
+type kernel_score = {
+  kernel : string;
+  ok : bool;
+  words : int;
+  cycles : int;
+  error : string option;
+}
+
+type t = {
+  point : Sample.point;
+  cost : int;
+  complete : bool;
+  total_words : int;
+  total_cycles : int;
+  kernels : kernel_score list;
+}
+
+let arch_cost (p : Target.Asip.params) =
+  1000
+  + (if p.Target.Asip.has_multiplier then 2500 else 0)
+  + (if p.Target.Asip.has_mac then 800 else 0)
+  + (if p.Target.Asip.has_saturation then 150 else 0)
+  + (600 * p.Target.Asip.accumulators)
+  + (120 * p.Target.Asip.address_regs)
+  + (40 * p.Target.Asip.imm_bits)
+
+let objectives t = [| t.total_words; t.total_cycles; t.cost |]
+
+let kernel_score kernel (status : Driver.Job.status) =
+  match status with
+  | Driver.Job.Done s ->
+    let cycles =
+      match s.Driver.Job.cycles with
+      | Some c -> c
+      | None ->
+        (* The sweep submits Simulate jobs only; a Done without cycles
+           means the job list was built wrong, not that the machine is
+           slow. *)
+        invalid_arg "Dse.Score: Done result without simulation cycles"
+    in
+    { kernel; ok = true; words = s.Driver.Job.words; cycles; error = None }
+  | Driver.Job.Unsupported msg ->
+    { kernel; ok = false; words = 0; cycles = 0; error = Some msg }
+  | Driver.Job.Failed msg ->
+    { kernel; ok = false; words = 0; cycles = 0; error = Some msg }
+  | Driver.Job.Timed_out s ->
+    {
+      kernel;
+      ok = false;
+      words = 0;
+      cycles = 0;
+      error = Some (Printf.sprintf "timeout after %.1f s" s);
+    }
+  | Driver.Job.Crashed msg ->
+    { kernel; ok = false; words = 0; cycles = 0; error = Some msg }
+
+let of_results point statuses =
+  let kernels = List.map (fun (k, st) -> kernel_score k st) statuses in
+  let complete = List.for_all (fun k -> k.ok) kernels in
+  {
+    point;
+    cost = arch_cost point.Sample.params;
+    complete;
+    total_words = List.fold_left (fun acc k -> acc + k.words) 0 kernels;
+    total_cycles = List.fold_left (fun acc k -> acc + k.cycles) 0 kernels;
+    kernels;
+  }
+
+let params_to_json (p : Target.Asip.params) =
+  Driver.Json.Obj
+    [
+      ("accumulators", Driver.Json.Int p.Target.Asip.accumulators);
+      ("multiplier", Driver.Json.Bool p.Target.Asip.has_multiplier);
+      ("mac", Driver.Json.Bool p.Target.Asip.has_mac);
+      ("saturation", Driver.Json.Bool p.Target.Asip.has_saturation);
+      ("imm_bits", Driver.Json.Int p.Target.Asip.imm_bits);
+      ("address_regs", Driver.Json.Int p.Target.Asip.address_regs);
+    ]
+
+let kernel_to_json k =
+  Driver.Json.Obj
+    ([
+       ("kernel", Driver.Json.String k.kernel);
+       ("status", Driver.Json.String (if k.ok then "ok" else "failed"));
+     ]
+    @ (if k.ok then
+         [
+           ("words", Driver.Json.Int k.words);
+           ("cycles", Driver.Json.Int k.cycles);
+         ]
+       else [])
+    @
+    match k.error with
+    | Some msg -> [ ("error", Driver.Json.String msg) ]
+    | None -> [])
+
+let to_json t =
+  Driver.Json.Obj
+    [
+      ("sample", Driver.Json.Int t.point.Sample.index);
+      ("name", Driver.Json.String t.point.Sample.name);
+      ("params", params_to_json t.point.Sample.params);
+      ("cost", Driver.Json.Int t.cost);
+      ("complete", Driver.Json.Bool t.complete);
+      ("words", Driver.Json.Int t.total_words);
+      ("cycles", Driver.Json.Int t.total_cycles);
+      ("kernels", Driver.Json.List (List.map kernel_to_json t.kernels));
+    ]

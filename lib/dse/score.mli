@@ -1,0 +1,54 @@
+(** Scoring of one sampled architecture over the kernel workload.
+
+    An architecture's figure of merit is the Table-1 pair — code size in
+    instruction words and simulated cycles, summed over the workload's
+    kernels — plus a static cost proxy for the hardware the parameters
+    imply. The three together are the Pareto dimensions: a point that is
+    smaller, faster, {e and} cheaper than another strictly dominates it.
+
+    A kernel the architecture legitimately cannot carry (AGU exhaustion on
+    a machine sampled with few address registers, register pressure) makes
+    the score incomplete; incomplete scores are reported — the §2.2 cube
+    has corners that cannot run the workload, and that is a result — but
+    excluded from the Pareto front, where their missing dimensions would
+    be meaningless. *)
+
+type kernel_score = {
+  kernel : string;
+  ok : bool;
+  words : int;  (** 0 when not [ok] *)
+  cycles : int;  (** 0 when not [ok] *)
+  error : string option;  (** the failure, verbatim, when not [ok] *)
+}
+
+type t = {
+  point : Sample.point;
+  cost : int;  (** {!arch_cost} of the point's parameters *)
+  complete : bool;  (** every kernel compiled and simulated *)
+  total_words : int;
+  total_cycles : int;
+  kernels : kernel_score list;  (** workload order *)
+}
+
+val arch_cost : Target.Asip.params -> int
+(** Crude gate-count model of the parameter cube, the sweep's third axis:
+    [1000 + 2500·mul + 800·mac + 150·sat + 600·accumulators
+    + 120·address_regs + 40·imm_bits]. The multiplier array dominates, a
+    MAC adder is cheaper than a multiplier, register files scale linearly,
+    and a wider immediate field widens the instruction decoder — the same
+    shape as [examples/explore_asip.ml]'s area model, made deterministic
+    policy here so BENCH_dse.json is comparable across PRs. *)
+
+val objectives : t -> int array
+(** [[| total_words; total_cycles; cost |]] — the Pareto dimensions, each
+    minimized. Only meaningful when [complete]. *)
+
+val of_results : Sample.point -> (string * Driver.Job.status) list -> t
+(** Fold per-kernel job statuses (kernel name × status, workload order)
+    into the architecture's score. [Done] must carry simulation cycles;
+    every other status marks the kernel failed with its message. *)
+
+val to_json : t -> Driver.Json.t
+(** Deterministic encoding: sample index, name, the full parameter record,
+    cost, completeness, totals, and the per-kernel rows. No wall-clock or
+    cache provenance — this is the byte-stable section of BENCH_dse.json. *)

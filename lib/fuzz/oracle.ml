@@ -198,6 +198,8 @@ let default_combos () = combos_for ~machines:(bundled ()) ~conventional:true
 type counterexample = {
   case : Gen.case;
   combo : string;
+  target : string;
+  record_options : bool;
   options_digest : string;
   verdict : verdict;
   shrunk : Gen.case;
@@ -245,6 +247,10 @@ let run ?(config = Gen.default) ?(combos = default_combos ()) ?(shrink = true)
               {
                 case;
                 combo = combo.label;
+                target = combo.machine.Target.Machine.name;
+                record_options =
+                  Record.Options.digest combo.options
+                  = Record.Options.digest Record.Options.record_;
                 options_digest = Record.Options.digest combo.options;
                 verdict;
                 shrunk;

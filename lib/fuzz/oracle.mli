@@ -72,6 +72,12 @@ val combos_for :
 type counterexample = {
   case : Gen.case;  (** as generated — reproduce with its seed and index *)
   combo : string;
+  target : string;
+      (** the failing combo's machine name, so a reproduce line can carry a
+          real [--target] flag instead of a trailing comment *)
+  record_options : bool;
+      (** the failing option set is exactly {!Record.Options.record_}, so
+          the reproduce line may add [--record-only] *)
   options_digest : string;
       (** {!Record.Options.digest} of the failing option set, so a
           reproduce line pins the exact configuration, not just its

@@ -25,12 +25,22 @@ let default =
     address_regs = 4;
   }
 
+(* Rejections name the offending value, not just the constraint: a
+   design-space sweep that rules a sample out must be diagnosable from the
+   log line alone. *)
 let validate p =
   if p.accumulators < 1 || p.accumulators > 2 then
-    invalid_arg "Asip: accumulators must be 1 or 2";
+    invalid_arg
+      (Printf.sprintf "Asip: accumulators must be 1 or 2 (got %d)"
+         p.accumulators);
   if p.imm_bits < 4 || p.imm_bits > 16 then
-    invalid_arg "Asip: imm_bits must be within 4..16";
-  if p.address_regs < 2 then invalid_arg "Asip: need at least 2 address regs"
+    invalid_arg
+      (Printf.sprintf "Asip: imm_bits must be within 4..16 (got %d)"
+         p.imm_bits);
+  if p.address_regs < 2 then
+    invalid_arg
+      (Printf.sprintf "Asip: need at least 2 address regs (got %d)"
+         p.address_regs)
 
 let nt n = Burg.Pattern.Nonterm n
 let binop op a b = Burg.Pattern.Binop (op, a, b)

@@ -6,4 +6,4 @@ let () =
     @ Test_rtl_ise.suites
     @ Test_mdl.suites @ Test_selftest.suites @ Test_dspstone.suites @ Test_timing.suites
     @ Test_pipeline.suites @ Test_sim.suites @ Test_fuzz.suites
-    @ Test_driver.suites @ Test_domains.suites)
+    @ Test_driver.suites @ Test_domains.suites @ Test_dse.suites)
