@@ -812,6 +812,192 @@ let dse_sweep () =
   end;
   Format.printf "(document written to BENCH_dse.json)@.@."
 
+(* ---- Sim sweep: compiled vs interpretive engine throughput --------------- *)
+
+(* Instructions/second for both simulator engines, per Table-1 kernel
+   (RECORD-compiled on tic25) and over a seeded fuzz corpus, written as
+   BENCH_sim.json.  The compiled engine is measured in steady state (one
+   [Sim.Compile.prepare], many runs — the fuzz fleet's and DSE's usage
+   pattern) and one-shot (translate + run, what a single [Sim.run] pays);
+   translation cost is reported separately.  Speedup is a single-core
+   ratio, so the number is meaningful on the 1-core CI box too. *)
+
+let time_rate f =
+  (* doubling batches until a batch takes >= 80ms, then the best of three
+     such batches; the fastest batch is the least scheduler-disturbed one,
+     so the rate is stable on a noisy shared box.  Returns calls/second. *)
+  let batch reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let rec calibrate reps =
+    let dt = batch reps in
+    if dt >= 0.08 then (reps, dt) else calibrate (reps * 2)
+  in
+  let reps, dt0 = calibrate 1 in
+  let dt = min dt0 (min (batch reps) (batch reps)) in
+  float_of_int reps /. dt
+
+let dynamic_instrs asm =
+  List.fold_left (fun acc (_, mult) -> acc + mult) 0
+    (Target.Asm.flatten_counts asm)
+
+let sim_sweep () =
+  section "Sim sweep: compiled vs interpretive engine throughput";
+  let machine = Target.Tic25.machine in
+  let width = machine.Target.Machine.word_bits in
+  Format.printf "%-26s %12s %12s %12s %8s@." "kernel" "interp i/s"
+    "compiled i/s" "oneshot i/s" "speedup";
+  let kernel_rows =
+    List.map
+      (fun (k : Dspstone.Kernels.t) ->
+        let c =
+          Record.Pipeline.compile ~options:Record.Options.record_ machine
+            (Dspstone.Kernels.prog k)
+        in
+        let image =
+          k.inputs
+          @ List.map (fun (n, v) -> (n, [| v |])) c.Record.Pipeline.pool
+        in
+        let asm = c.Record.Pipeline.asm and layout = c.Record.Pipeline.layout in
+        let dyn = dynamic_instrs asm in
+        let interp_rate =
+          time_rate (fun () ->
+              ignore
+                (Sim.run ~width ~engine:Sim.Interp machine ~layout
+                   ~inputs:image asm))
+        in
+        let oneshot_rate =
+          time_rate (fun () ->
+              ignore
+                (Sim.run ~width ~engine:Sim.Compiled machine ~layout
+                   ~inputs:image asm))
+        in
+        let plan = Sim.Compile.prepare ~width machine ~layout asm in
+        let compiled_rate =
+          time_rate (fun () -> ignore (Sim.Compile.run plan ~inputs:image))
+        in
+        let prepare_ms =
+          1000.0
+          /. time_rate (fun () ->
+                 ignore (Sim.Compile.prepare ~width machine ~layout asm))
+        in
+        let fdyn = float_of_int dyn in
+        let interp_ips = interp_rate *. fdyn in
+        let compiled_ips = compiled_rate *. fdyn in
+        let oneshot_ips = oneshot_rate *. fdyn in
+        let speedup = compiled_ips /. interp_ips in
+        Format.printf "%-26s %12.3e %12.3e %12.3e %7.1fx@." k.name interp_ips
+          compiled_ips oneshot_ips speedup;
+        Driver.Json.Obj
+          [
+            ("kernel", Driver.Json.String k.name);
+            ("dynamic_instrs", Driver.Json.Int dyn);
+            ("interp_ips", Driver.Json.Float interp_ips);
+            ("compiled_ips", Driver.Json.Float compiled_ips);
+            ("compiled_oneshot_ips", Driver.Json.Float oneshot_ips);
+            ("prepare_ms", Driver.Json.Float prepare_ms);
+            ("speedup", Driver.Json.Float speedup);
+          ])
+      Dspstone.Kernels.all
+  in
+  (* The fuzz corpus: the same 500 seeded cases the differential suite
+     checks, rotated over all four bundled machines.  Every compilable
+     case's plan is translated once, then the whole corpus is swept per
+     batch. *)
+  let corpus_machines =
+    [|
+      Target.Tic25.machine;
+      Target.Dsp56.machine;
+      Target.Risc32.machine;
+      Target.Asip.machine Target.Asip.default;
+    |]
+  in
+  let cases =
+    Fuzz.Gen.cases ~config:(Fuzz.Gen.sized 6) ~seed:42 ~count:500 ()
+  in
+  let corpus =
+    List.filter_map
+      (fun (case : Fuzz.Gen.case) ->
+        let m =
+          corpus_machines.(case.Fuzz.Gen.index mod Array.length corpus_machines)
+        in
+        match
+          Record.Pipeline.compile ~options:Record.Options.record_ m
+            case.Fuzz.Gen.prog
+        with
+        | exception Record.Pipeline.Error _ -> None
+        | c ->
+          let image =
+            case.Fuzz.Gen.inputs
+            @ List.map (fun (n, v) -> (n, [| v |])) c.Record.Pipeline.pool
+          in
+          Some (m, c.Record.Pipeline.asm, c.Record.Pipeline.layout, image))
+      cases
+  in
+  let corpus_dyn =
+    List.fold_left (fun acc (_, asm, _, _) -> acc + dynamic_instrs asm) 0 corpus
+  in
+  let interp_sweeps =
+    time_rate (fun () ->
+        List.iter
+          (fun ((m : Target.Machine.t), asm, layout, image) ->
+            ignore
+              (Sim.run ~width:m.word_bits ~engine:Sim.Interp m ~layout
+                 ~inputs:image asm))
+          corpus)
+  in
+  let plans =
+    List.map
+      (fun ((m : Target.Machine.t), asm, layout, image) ->
+        (Sim.Compile.prepare ~width:m.word_bits m ~layout asm, image))
+      corpus
+  in
+  let compiled_sweeps =
+    time_rate (fun () ->
+        List.iter
+          (fun (plan, image) -> ignore (Sim.Compile.run plan ~inputs:image))
+          plans)
+  in
+  let fdyn = float_of_int corpus_dyn in
+  let interp_ips = interp_sweeps *. fdyn in
+  let compiled_ips = compiled_sweeps *. fdyn in
+  let speedup = compiled_ips /. interp_ips in
+  Format.printf
+    "fuzz corpus: %d cases, %d dynamic instrs; interp %.3e i/s, compiled \
+     %.3e i/s, speedup %.1fx@."
+    (List.length corpus) corpus_dyn interp_ips compiled_ips speedup;
+  let doc =
+    Driver.Json.Obj
+      [
+        ("table", Driver.Json.String "sim-sweep");
+        ("machine", Driver.Json.String machine.Target.Machine.name);
+        ("kernels", Driver.Json.List kernel_rows);
+        ( "fuzz_corpus",
+          Driver.Json.Obj
+            [
+              ( "machines",
+                Driver.Json.List
+                  (Array.to_list corpus_machines
+                  |> List.map (fun (m : Target.Machine.t) ->
+                         Driver.Json.String m.Target.Machine.name)) );
+              ("cases", Driver.Json.Int (List.length corpus));
+              ("dynamic_instrs", Driver.Json.Int corpus_dyn);
+              ("interp_ips", Driver.Json.Float interp_ips);
+              ("compiled_ips", Driver.Json.Float compiled_ips);
+              ("speedup", Driver.Json.Float speedup);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc (Driver.Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "(document written to BENCH_sim.json)@.@."
+
 let selftest_report () =
   section "§4.5: self-test program generation and fault coverage";
   List.iter
@@ -907,18 +1093,22 @@ let () =
      BENCH_serve.json).
      --dse-sweep: only the seeded architecture-farm sweep (writes
      BENCH_dse.json; exit 1 on a cold warm-rerun hit rate below 0.9 or an
-     empty Pareto front). *)
+     empty Pareto front).
+     --sim-sweep: only the simulator-engine throughput sweep (writes
+     BENCH_sim.json; speedup reported, never gated). *)
   let flag name = Array.exists (String.equal name) Sys.argv in
   let smoke = flag "--smoke" in
   let sweep_only = flag "--selection-sweep" in
   let serve_only = flag "--serve-sweep" in
   let dse_only = flag "--dse-sweep" in
+  let sim_only = flag "--sim-sweep" in
   let sharing = flag "--assert-sharing" in
   Format.printf
     "RECORD reproduction benchmarks (Marwedel, 'Code Generation for Core \
      Processors', DAC 1997)@.";
   if serve_only then serve_sweep ()
   else if dse_only then dse_sweep ()
+  else if sim_only then sim_sweep ()
   else if sweep_only then begin
     let rows = selection_sweep () in
     if sharing then assert_sharing rows
@@ -943,6 +1133,7 @@ let () =
       if sharing then assert_sharing sweep_rows;
       serve_sweep ();
       dse_sweep ();
+      sim_sweep ();
       selftest_report ();
       timing ()
     end

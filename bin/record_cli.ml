@@ -430,7 +430,7 @@ let timing_t =
 
 (* ---- fuzz -------------------------------------------------------------------- *)
 
-let fuzz_cmd seed count max_size targets record_only no_shrink =
+let fuzz_cmd seed count max_size targets record_only no_shrink sim_name =
   let selected =
     match targets with
     | [] -> Driver.Registry.machines ()
@@ -439,9 +439,16 @@ let fuzz_cmd seed count max_size targets record_only no_shrink =
   let combos =
     Fuzz.Oracle.combos_for ~machines:selected ~conventional:(not record_only)
   in
+  let sim =
+    match sim_name with
+    | "interp" -> Fuzz.Oracle.One Sim.Interp
+    | "compiled" -> Fuzz.Oracle.One Sim.Compiled
+    | _ -> Fuzz.Oracle.Both
+  in
   let config = Fuzz.Gen.sized max_size in
   let report =
-    Fuzz.Oracle.run ~config ~combos ~shrink:(not no_shrink) ~seed ~count ()
+    Fuzz.Oracle.run ~config ~combos ~shrink:(not no_shrink) ~sim ~seed ~count
+      ()
   in
   Format.printf "%a@." Fuzz.Oracle.pp_report report;
   if Fuzz.Oracle.failures report > 0 then begin
@@ -452,12 +459,12 @@ let fuzz_cmd seed count max_size targets record_only no_shrink =
            option set was RECORD's (a conventional-baseline failure needs
            both option sets, which is the default). *)
         Format.printf
-          "reproduce: record fuzz --seed %d --count %d --max-size %d --target %s%s  # failing case %d on %s, options %s@."
+          "reproduce: record fuzz --seed %d --count %d --max-size %d --target %s%s --sim=%s  # failing case %d on %s, options %s@."
           c.Fuzz.Oracle.case.Fuzz.Gen.seed
           (c.Fuzz.Oracle.case.Fuzz.Gen.index + 1)
           max_size c.Fuzz.Oracle.target
           (if c.Fuzz.Oracle.record_options then " --record-only" else "")
-          c.Fuzz.Oracle.case.Fuzz.Gen.index c.Fuzz.Oracle.combo
+          sim_name c.Fuzz.Oracle.case.Fuzz.Gen.index c.Fuzz.Oracle.combo
           c.Fuzz.Oracle.options_digest)
       report.Fuzz.Oracle.counterexamples;
     prerr_endline "record: fuzz found counterexamples";
@@ -492,6 +499,17 @@ let no_shrink_arg =
   Arg.(value & flag & info [ "no-shrink" ]
          ~doc:"Report counterexamples as generated, without minimizing them")
 
+let sim_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("interp", "interp"); ("compiled", "compiled"); ("both", "both") ])
+        "both"
+    & info [ "sim" ] ~docv:"ENGINE"
+        ~doc:"Simulator engine: $(b,interp), $(b,compiled), or $(b,both) \
+              (default) — with both, the two engines are cross-checked as \
+              an extra differential axis on every case")
+
 let fuzz_t =
   Cmd.v
     (Cmd.info "fuzz"
@@ -500,7 +518,7 @@ let fuzz_t =
              counterexample)")
     Term.(
       const fuzz_cmd $ seed_arg $ count_arg $ max_size_arg $ fuzz_targets_arg
-      $ record_only_arg $ no_shrink_arg)
+      $ record_only_arg $ no_shrink_arg $ sim_arg)
 
 (* ---- batch ------------------------------------------------------------------- *)
 

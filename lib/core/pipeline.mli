@@ -73,7 +73,8 @@ val compile :
 val words : compiled -> int
 (** Code size in instruction words. *)
 
-val execute : compiled -> inputs:(string * int array) list
+val execute : ?engine:Sim.engine -> compiled -> inputs:(string * int array) list
   -> (string * int array) list * int
 (** Runs the code on the simulator; returns the program outputs and the
-    cycle count. *)
+    cycle count.  [engine] selects the simulator engine (default
+    [Sim.Compiled]). *)

@@ -15,10 +15,13 @@ let record_pct r = pct r.record_words r.hand_words
 
 let machine = Target.Tic25.machine
 
-let run_hand (k : Kernels.t) =
+let run_hand ?engine (k : Kernels.t) =
   let asm = Handasm.find k.name in
   let layout = Handasm.layout_for k in
-  let outcome = Sim.run machine ~layout ~inputs:k.inputs asm in
+  let outcome =
+    Sim.run ~width:machine.Target.Machine.word_bits ?engine machine ~layout
+      ~inputs:k.inputs asm
+  in
   (Sim.outputs outcome (Kernels.prog k), outcome.Sim.cycles)
 
 let same_outputs expected got =

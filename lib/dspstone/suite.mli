@@ -18,8 +18,9 @@ val conv_pct : row -> int
 
 val record_pct : row -> int
 
-val run_hand : Kernels.t -> (string * int array) list * int
-(** Simulates the hand assembly; returns outputs and cycles. *)
+val run_hand : ?engine:Sim.engine -> Kernels.t -> (string * int array) list * int
+(** Simulates the hand assembly at the machine's word width; returns
+    outputs and cycles.  [engine] defaults to [Sim.Compiled]. *)
 
 val validate : Kernels.t -> (unit, string) result
 (** Checks hand, conventional, and RECORD code all reproduce the reference

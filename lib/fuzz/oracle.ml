@@ -1,12 +1,26 @@
 (* The differential oracle and campaign driver. *)
 
-type failure_kind = Miscompile | Timing_drift | Mode_trip | Exec_trip
+type failure_kind =
+  | Miscompile
+  | Timing_drift
+  | Mode_trip
+  | Exec_trip
+  | Engine_divergence
 
 type verdict =
   | Pass of { cycles : int; words : int }
   | Skipped_contract
   | Cannot_compile of string
   | Failed of { kind : failure_kind; detail : string }
+
+type engine_choice = One of Sim.engine | Both
+
+let kind_name = function
+  | Miscompile -> "MISCOMPILE"
+  | Timing_drift -> "TIMING DRIFT"
+  | Mode_trip -> "MODE VIOLATION"
+  | Exec_trip -> "EXEC ERROR"
+  | Engine_divergence -> "ENGINE DIVERGENCE"
 
 (* ---- the fixed-point contract ------------------------------------------- *)
 
@@ -94,7 +108,8 @@ let within_contract ?(width = 16) ?(sat_headroom = true) (prog : Ir.Prog.t)
 let array_to_string vs =
   "[" ^ String.concat ", " (Array.to_list (Array.map string_of_int vs)) ^ "]"
 
-let check ?cache ?(options = Record.Options.record_) machine (case : Gen.case) =
+let check ?cache ?(options = Record.Options.record_) ?(sim = Both) machine
+    (case : Gen.case) =
   let width = machine.Target.Machine.word_bits in
   let sat_headroom =
     match options.Record.Options.selection with
@@ -114,12 +129,42 @@ let check ?cache ?(options = Record.Options.record_) machine (case : Gen.case) =
     with
     | exception Record.Pipeline.Error msg -> Cannot_compile msg
     | compiled -> (
-      match Record.Pipeline.execute compiled ~inputs:case.Gen.inputs with
-      | exception Sim.Mode_violation msg ->
-        Failed { kind = Mode_trip; detail = msg }
-      | exception Sim.Exec_error msg ->
-        Failed { kind = Exec_trip; detail = msg }
-      | outs, cycles -> (
+      (* Execute under one engine, or under both with the second acting as
+         an extra differential axis: outputs, cycles, and raised errors
+         must agree exactly. *)
+      let exec_with engine =
+        match
+          Record.Pipeline.execute ~engine compiled ~inputs:case.Gen.inputs
+        with
+        | outs, cycles -> Ok (outs, cycles)
+        | exception Sim.Mode_violation msg -> Error (Mode_trip, msg)
+        | exception Sim.Exec_error msg -> Error (Exec_trip, msg)
+      in
+      let result_str = function
+        | Ok (outs, cycles) ->
+          Printf.sprintf "ok: %d cycles, %s" cycles
+            (String.concat "; "
+               (List.map
+                  (fun (n, vs) -> n ^ "=" ^ array_to_string vs)
+                  outs))
+        | Error (kind, msg) -> Printf.sprintf "%s: %s" (kind_name kind) msg
+      in
+      let result =
+        match sim with
+        | One engine -> exec_with engine
+        | Both ->
+          let compiled_r = exec_with Sim.Compiled in
+          let interp_r = exec_with Sim.Interp in
+          if compiled_r = interp_r then compiled_r
+          else
+            Error
+              ( Engine_divergence,
+                Printf.sprintf "interp {%s} vs compiled {%s}"
+                  (result_str interp_r) (result_str compiled_r) )
+      in
+      match result with
+      | Error (kind, detail) -> Failed { kind; detail }
+      | Ok (outs, cycles) -> (
         let expected =
           Ir.Eval.run_with_inputs ~width case.Gen.prog case.Gen.inputs
         in
@@ -217,7 +262,7 @@ type report = {
 }
 
 let run ?(config = Gen.default) ?(combos = default_combos ()) ?(shrink = true)
-    ~seed ~count () =
+    ?(sim = Both) ~seed ~count () =
   let counter () = List.map (fun c -> (c.label, ref 0)) combos in
   let pass = counter () and skipped = counter () and cannot = counter () in
   let cexs = ref [] in
@@ -229,19 +274,20 @@ let run ?(config = Gen.default) ?(combos = default_combos ()) ?(shrink = true)
     (fun (case : Gen.case) ->
       List.iter
         (fun combo ->
-          match check ~cache ~options:combo.options combo.machine case with
+          match check ~cache ~options:combo.options ~sim combo.machine case with
           | Pass _ -> incr (List.assoc combo.label pass)
           | Skipped_contract -> incr (List.assoc combo.label skipped)
           | Cannot_compile _ -> incr (List.assoc combo.label cannot)
           | Failed _ as verdict ->
             let still_fails c =
-              is_failure (check ~cache ~options:combo.options combo.machine c)
+              is_failure
+                (check ~cache ~options:combo.options ~sim combo.machine c)
             in
             let shrunk =
               if shrink then Shrink.minimize ~still_fails case else case
             in
             let shrunk_verdict =
-              check ~cache ~options:combo.options combo.machine shrunk
+              check ~cache ~options:combo.options ~sim combo.machine shrunk
             in
             cexs :=
               {
@@ -272,12 +318,6 @@ let run ?(config = Gen.default) ?(combos = default_combos ()) ?(shrink = true)
 let failures report = List.length report.counterexamples
 
 (* ---- reporting ---------------------------------------------------------------- *)
-
-let kind_name = function
-  | Miscompile -> "MISCOMPILE"
-  | Timing_drift -> "TIMING DRIFT"
-  | Mode_trip -> "MODE VIOLATION"
-  | Exec_trip -> "EXEC ERROR"
 
 let pp_verdict ppf = function
   | Pass { cycles; words } ->

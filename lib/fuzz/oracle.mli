@@ -14,6 +14,10 @@ type failure_kind =
   | Mode_trip  (** {!Sim.Mode_violation}: mode minimization emitted a
                     moded instruction without its mode set *)
   | Exec_trip  (** {!Sim.Exec_error}: malformed code reached the simulator *)
+  | Engine_divergence
+      (** the compiled and interpretive simulator engines disagree on
+          outputs, cycles, or the raised error — a simulator bug, not a
+          compiler bug *)
 
 type verdict =
   | Pass of { cycles : int; words : int }
@@ -23,6 +27,13 @@ type verdict =
           answer across accumulator widths; not compiled *)
   | Cannot_compile of string  (** {!Record.Pipeline.Error}; not a bug *)
   | Failed of { kind : failure_kind; detail : string }
+
+type engine_choice =
+  | One of Sim.engine  (** simulate with just this engine *)
+  | Both
+      (** run both engines and require identical outputs, cycles, and
+          errors — the default, making every fuzz case an engine
+          differential too *)
 
 val within_contract :
   ?width:int ->
@@ -43,6 +54,7 @@ val within_contract :
 val check :
   ?cache:Driver.Cache.t ->
   ?options:Record.Options.t ->
+  ?sim:engine_choice ->
   Target.Machine.t ->
   Gen.case ->
   verdict
@@ -50,7 +62,7 @@ val check :
     {!Record.Options.record_}). With [cache], compilation goes through
     {!Driver.Service.compile}, so repeated checks of one program (the
     shrink loop, the post-shrink verdict) reuse the cached pipeline
-    output. *)
+    output.  [sim] (default {!Both}) selects the simulator engine(s). *)
 
 val is_failure : verdict -> bool
 
@@ -102,13 +114,16 @@ val run :
   ?config:Gen.config ->
   ?combos:combo list ->
   ?shrink:bool ->
+  ?sim:engine_choice ->
   seed:int ->
   count:int ->
   unit ->
   report
 (** Generate [count] cases from [seed] and check each on every combo.
     Failing cases are minimized with {!Shrink.minimize} (disable with
-    [~shrink:false]). Deterministic: same arguments, same report. *)
+    [~shrink:false]). [sim] (default {!Both}) selects the simulator
+    engine(s) used for every check, shrink step included.
+    Deterministic: same arguments, same report. *)
 
 val failures : report -> int
 

@@ -221,12 +221,27 @@ let of_transfers ~name ~description ~registers ?counter ?agu_limit transfers =
   (* Executable semantics: interpret the transfer behind each opcode, plus
      the synthesized control pseudo-instructions. *)
   let by_name = List.map (fun (t : Transfer.t) -> (t.name, t)) transfers in
-  let exec st (i : Target.Instr.t) =
+  (* Staged: the transfer lookup, the expr walk, and the operand-queue
+     consumption all happen once per instruction; the returned closure only
+     reads/writes machine state.  The queue is drained at stage time in the
+     same traversal order the interpreter used (leaves left-to-right, then
+     the memory destination), so operand pairing is unchanged. *)
+  let semantics (i : Target.Instr.t) : Target.Mstate.t -> unit =
     match (i.Target.Instr.opcode, i.Target.Instr.operands) with
+    | "LDC", [ Target.Instr.Reg c; Target.Instr.Imm k ]
+    | "LDAR", [ Target.Instr.Reg c; Target.Instr.Imm k ] ->
+      let sc = Target.Mstate.reg_slot c in
+      fun st -> Target.Mstate.write_slot st sc k
     | "LDC", [ c; n ] | "LDAR", [ c; n ] ->
-      Target.Mstate.write_operand st c (Target.Mstate.read_operand st n)
+      let wc = Target.Mstate.writer c and rn = Target.Mstate.reader n in
+      fun st -> wc st (rn st)
+    | "DJNZ", [ Target.Instr.Reg c ] ->
+      let sc = Target.Mstate.reg_slot c in
+      fun st ->
+        Target.Mstate.write_slot st sc (Target.Mstate.read_slot st sc - 1)
     | "DJNZ", [ c ] ->
-      Target.Mstate.write_operand st c (Target.Mstate.read_operand st c - 1)
+      let wc = Target.Mstate.writer c and rc = Target.Mstate.reader c in
+      fun st -> wc st (rc st - 1)
     | _ -> (
       let t =
         match List.assoc_opt i.Target.Instr.opcode by_name with
@@ -243,25 +258,63 @@ let of_transfers ~name ~description ~registers ?counter ?agu_limit transfers =
           op
         | [] -> invalid_arg (i.Target.Instr.opcode ^ ": missing operand")
       in
-      let rec eval (e : Transfer.expr) =
+      let rec stage (e : Transfer.expr) : Target.Mstate.t -> int =
         match e with
         | Transfer.Leaf (Transfer.Reg r) ->
-          Target.Mstate.get_reg st { Target.Instr.cls = r; idx = 0 }
+          Target.Mstate.reg_reader { Target.Instr.cls = r; idx = 0 }
         | Transfer.Leaf (Transfer.Mem_direct _)
         | Transfer.Leaf (Transfer.Imm _) ->
-          Target.Mstate.read_operand st (next ())
-        | Transfer.Leaf (Transfer.Const k) -> k
-        | Transfer.Unop (op, a) -> Ir.Op.eval_unop op ~width:16 (eval a)
-        | Transfer.Binop (op, a, b) ->
-          let va = eval a in
-          let vb = eval b in
-          Ir.Op.eval_binop op va vb
+          Target.Mstate.reader (next ())
+        | Transfer.Leaf (Transfer.Const k) -> fun _ -> k
+        | Transfer.Unop (op, a) -> (
+          let fa = stage a in
+          (* dispatch on the operator once at staging time, not per step *)
+          match op with
+          | Ir.Op.Neg -> fun st -> -fa st
+          | Ir.Op.Not -> fun st -> lnot (fa st)
+          | Ir.Op.Sat -> fun st -> Ir.Op.eval_unop Ir.Op.Sat ~width:16 (fa st))
+        | Transfer.Binop (op, a, b) -> (
+          let fa = stage a in
+          let fb = stage b in
+          match op with
+          | Ir.Op.Add ->
+            fun st ->
+              let va = fa st in
+              va + fb st
+          | Ir.Op.Sub ->
+            fun st ->
+              let va = fa st in
+              va - fb st
+          | Ir.Op.Mul ->
+            fun st ->
+              let va = fa st in
+              va * fb st
+          | Ir.Op.And ->
+            fun st ->
+              let va = fa st in
+              va land fb st
+          | Ir.Op.Or ->
+            fun st ->
+              let va = fa st in
+              va lor fb st
+          | Ir.Op.Xor ->
+            fun st ->
+              let va = fa st in
+              va lxor fb st
+          | Ir.Op.Shl | Ir.Op.Shr ->
+            fun st ->
+              let va = fa st in
+              let vb = fb st in
+              Ir.Op.eval_binop op va vb)
       in
-      let v = eval t.expr in
+      let f = stage t.expr in
       match t.dest with
       | Transfer.Dreg r ->
-        Target.Mstate.set_reg st { Target.Instr.cls = r; idx = 0 } v
-      | Transfer.Dmem _ -> Target.Mstate.write_operand st (next ()) v)
+        let wr = Target.Mstate.reg_writer { Target.Instr.cls = r; idx = 0 } in
+        fun st -> wr st (f st)
+      | Transfer.Dmem _ ->
+        let w = Target.Mstate.writer (next ()) in
+        fun st -> w st (f st))
   in
   let counter_cls, counter_count =
     match counter with
@@ -376,7 +429,7 @@ let of_transfers ~name ~description ~registers ?counter ?agu_limit transfers =
     agu;
     naive_agu = None;
     spills;
-    exec;
+    semantics;
     classification =
       {
         Target.Classify.availability = Target.Classify.Core;

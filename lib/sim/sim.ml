@@ -1,7 +1,10 @@
-exception Mode_violation of string
-exception Exec_error of string
+module Compile = Compile
 
-type outcome = { cycles : int; state : Target.Mstate.t }
+exception Mode_violation = Compile.Mode_violation
+exception Exec_error = Compile.Exec_error
+
+type outcome = Compile.outcome = { cycles : int; state : Target.Mstate.t }
+type engine = Interp | Compiled
 
 let exec_instr machine st (i : Target.Instr.t) =
   (match i.mode_req with
@@ -16,13 +19,13 @@ let exec_instr machine st (i : Target.Instr.t) =
   (match i.mode_set with
   | Some (m, v) -> Target.Mstate.set_mode st m v
   | None -> (
-    match machine.Target.Machine.exec st i with
+    match Target.Machine.exec machine st i with
     | () -> ()
     | exception Invalid_argument msg -> raise (Exec_error msg)));
   (* post-modify addressing becomes visible at the instruction boundary *)
   Target.Mstate.apply_updates st
 
-let run ?(width = 16) machine ~layout ~inputs (asm : Target.Asm.t) =
+let run_interp ~width machine ~layout ~inputs (asm : Target.Asm.t) =
   let st =
     Target.Mstate.create ~width ~layout ~modes:machine.Target.Machine.modes ()
   in
@@ -41,6 +44,12 @@ let run ?(width = 16) machine ~layout ~inputs (asm : Target.Asm.t) =
   in
   List.iter go asm.Target.Asm.items;
   { cycles = Target.Mstate.cycles st; state = st }
+
+let run ?(width = 16) ?(engine = Compiled) machine ~layout ~inputs
+    (asm : Target.Asm.t) =
+  match engine with
+  | Interp -> run_interp ~width machine ~layout ~inputs asm
+  | Compiled -> Compile.run (Compile.prepare ~width machine ~layout asm) ~inputs
 
 let outputs outcome (prog : Ir.Prog.t) =
   List.filter_map

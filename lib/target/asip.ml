@@ -335,38 +335,59 @@ let machine ?(name = "asip") p =
         } );
     ]
   in
-  let exec st (i : Instr.t) =
+  (* Staged: operand shapes and the opcode dispatch resolve once per
+     instruction; see the note on [Machine.t.semantics]. *)
+  let semantics (i : Instr.t) : Mstate.t -> unit =
     let op n = List.nth i.Instr.operands n in
-    let rd n = Mstate.read_operand st (op n) in
-    let use n = Mstate.read_operand st (List.nth i.Instr.uses n) in
+    let rd n = Mstate.reader (op n) in
+    let use n = Mstate.reader (List.nth i.Instr.uses n) in
     let def () =
       match i.Instr.defs with
-      | d :: _ ->
-        d
+      | d :: _ -> Mstate.writer d
       | [] ->
         invalid_arg (name ^ ": " ^ i.Instr.opcode ^ " without destination")
     in
-    let set v = Mstate.write_operand st (def ()) v in
+    let unary f =
+      let w = def () and a = use 0 in
+      fun st -> w st (f (a st))
+    in
+    let use_op f =
+      (* binary over the first use and the first operand, the ASIP's
+         accumulator-machine shape *)
+      let w = def () and a = use 0 and k = rd 0 in
+      fun st -> w st (f (a st) (k st))
+    in
     match i.Instr.opcode with
-    | "LD" -> set (rd 0)
-    | "ST" -> Mstate.write_operand st (op 0) (use 0)
-    | "LDI" -> set (rd 0)
-    | "ADD" -> set (use 0 + rd 0)
-    | "ADDI" -> set (use 0 + rd 0)
-    | "SUB" -> set (use 0 - rd 0)
-    | "AND" -> set (use 0 land rd 0)
-    | "OR" -> set (use 0 lor rd 0)
-    | "XOR" -> set (use 0 lxor rd 0)
-    | "SHL" -> set (Ir.Op.eval_binop Ir.Op.Shl (use 0) (rd 0))
-    | "SHR" -> set (Ir.Op.eval_binop Ir.Op.Shr (use 0) (rd 0))
-    | "NEG" -> set (-use 0)
-    | "NOT" -> set (lnot (use 0))
-    | "MUL" | "MULS" -> set (use 0 * rd 0)
-    | "MAC" -> set (use 0 + (rd 0 * rd 1))
-    | "SAT" | "SATS" -> set (Ir.Op.eval_unop Ir.Op.Sat ~width:16 (use 0))
-    | "LDC" | "LDAR" -> Mstate.write_operand st (op 0) (rd 1)
-    | "DJNZ" -> Mstate.write_operand st (op 0) (rd 0 - 1)
-    | "LDARI" -> Mstate.write_operand st (op 0) (rd 1 + (rd 3 * rd 2))
+    | "LD" | "LDI" ->
+      let w = def () and r0 = rd 0 in
+      fun st -> w st (r0 st)
+    | "ST" ->
+      let w0 = Mstate.writer (op 0) and a = use 0 in
+      fun st -> w0 st (a st)
+    | "ADD" | "ADDI" -> use_op ( + )
+    | "SUB" -> use_op ( - )
+    | "AND" -> use_op ( land )
+    | "OR" -> use_op ( lor )
+    | "XOR" -> use_op ( lxor )
+    | "SHL" -> use_op (Ir.Op.eval_binop Ir.Op.Shl)
+    | "SHR" -> use_op (Ir.Op.eval_binop Ir.Op.Shr)
+    | "NEG" -> unary (fun a -> -a)
+    | "NOT" -> unary lnot
+    | "MUL" | "MULS" -> use_op ( * )
+    | "MAC" ->
+      let w = def () and a = use 0 and k0 = rd 0 and k1 = rd 1 in
+      fun st -> w st (a st + (k0 st * k1 st))
+    | "SAT" | "SATS" -> unary (Ir.Op.eval_unop Ir.Op.Sat ~width:16)
+    | "LDC" | "LDAR" ->
+      let w0 = Mstate.writer (op 0) and r1 = rd 1 in
+      fun st -> w0 st (r1 st)
+    | "DJNZ" ->
+      let w0 = Mstate.writer (op 0) and r0 = rd 0 in
+      fun st -> w0 st (r0 st - 1)
+    | "LDARI" ->
+      let w0 = Mstate.writer (op 0) in
+      let r1 = rd 1 and r2 = rd 2 and r3 = rd 3 in
+      fun st -> w0 st (r1 st + (r3 st * r2 st))
     | opc -> invalid_arg (Printf.sprintf "%s: cannot execute %s" name opc)
   in
   {
@@ -407,7 +428,7 @@ let machine ?(name = "asip") p =
     agu = Some agu;
     naive_agu = Some naive_agu;
     spills;
-    exec;
+    semantics;
     classification =
       {
         Classify.availability = Classify.Core;

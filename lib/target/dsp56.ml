@@ -259,40 +259,108 @@ let spill_via cls =
 
 (* ---- executable semantics ---------------------------------------------- *)
 
-let exec st (i : Instr.t) =
+(* Staged: operand shapes and the opcode dispatch resolve once per
+   instruction; see the note on [Machine.t.semantics]. *)
+let semantics (i : Instr.t) : Mstate.t -> unit =
   let op n = List.nth i.Instr.operands n in
-  let rd n = Mstate.read_operand st (op n) in
-  let use n = Mstate.read_operand st (List.nth i.Instr.uses n) in
+  let rd n = Mstate.reader (op n) in
+  let use n = Mstate.reader (List.nth i.Instr.uses n) in
   let def () =
     match i.Instr.defs with
-    | d :: _ -> d
+    | d :: _ -> Mstate.writer d
     | [] -> invalid_arg ("dsp56: " ^ i.Instr.opcode ^ " without destination")
   in
-  let set v = Mstate.write_operand st (def ()) v in
+  (* all-register shapes — the dominant ALU case — flatten to direct slot
+     accesses with no operand-closure chain *)
+  let unary f =
+    match (i.Instr.defs, i.Instr.uses) with
+    | Instr.Reg d :: _, Instr.Reg a :: _ ->
+      let sd = Mstate.reg_slot d and sa = Mstate.reg_slot a in
+      fun st -> Mstate.write_slot st sd (f (Mstate.read_slot st sa))
+    | _ ->
+      let w = def () and a = use 0 in
+      fun st -> w st (f (a st))
+  in
+  let binary f =
+    match (i.Instr.defs, i.Instr.uses) with
+    | Instr.Reg d :: _, Instr.Reg a :: Instr.Reg b :: _ ->
+      let sd = Mstate.reg_slot d
+      and sa = Mstate.reg_slot a
+      and sb = Mstate.reg_slot b in
+      fun st ->
+        Mstate.write_slot st sd
+          (f (Mstate.read_slot st sa) (Mstate.read_slot st sb))
+    | _ ->
+      let w = def () and a = use 0 and b = use 1 in
+      fun st -> w st (f (a st) (b st))
+  in
   match i.Instr.opcode with
   | "MOVE" -> (
     match i.Instr.defs with
-    | (Instr.Dir _ | Instr.Ind _) :: _ ->
-      Mstate.write_operand st (op 0) (use 0)
-    | _ -> set (rd 0))
-  | "MOVEI" -> set (rd 0)
-  | "TFR" -> set (use 0)
-  | "ADD" -> set (use 0 + use 1)
-  | "SUB" -> set (use 0 - use 1)
-  | "AND" -> set (use 0 land use 1)
-  | "OR" -> set (use 0 lor use 1)
-  | "EOR" -> set (use 0 lxor use 1)
-  | "MPY" -> set (use 0 * use 1)
-  | "MAC" -> set (use 0 + (use 1 * use 2))
-  | "NEG" -> set (-use 0)
-  | "NOT" -> set (lnot (use 0))
-  | "ASL" -> set (use 0 * 2)
-  | "ASR" -> set (use 0 asr 1)
-  | "SAT" -> set (Ir.Op.eval_unop Ir.Op.Sat ~width:16 (use 0))
-  | "ADDI" -> set (use 0 + rd 0)
-  | "DO" -> Mstate.write_operand st (op 0) (rd 1)
-  | "LEA" -> Mstate.write_operand st (op 0) (rd 1)
-  | "LEAI" -> Mstate.write_operand st (op 0) (rd 1 + (rd 3 * rd 2))
+    | (Instr.Dir _ | Instr.Ind _) :: _ -> (
+      let w0 = Mstate.writer (op 0) in
+      match i.Instr.uses with
+      | Instr.Reg a :: _ ->
+        let sa = Mstate.reg_slot a in
+        fun st -> w0 st (Mstate.read_slot st sa)
+      | _ ->
+        let a = use 0 in
+        fun st -> w0 st (a st))
+    | Instr.Reg d :: _ ->
+      let sd = Mstate.reg_slot d and r0 = rd 0 in
+      fun st -> Mstate.write_slot st sd (r0 st)
+    | _ ->
+      let w = def () and r0 = rd 0 in
+      fun st -> w st (r0 st))
+  | "MOVEI" -> (
+    match (i.Instr.defs, op 0) with
+    | Instr.Reg d :: _, Instr.Imm k ->
+      let sd = Mstate.reg_slot d in
+      fun st -> Mstate.write_slot st sd k
+    | _ ->
+      let w = def () and r0 = rd 0 in
+      fun st -> w st (r0 st))
+  | "TFR" -> unary (fun a -> a)
+  | "ADD" -> binary ( + )
+  | "SUB" -> binary ( - )
+  | "AND" -> binary ( land )
+  | "OR" -> binary ( lor )
+  | "EOR" -> binary ( lxor )
+  | "MPY" -> binary ( * )
+  | "MAC" -> (
+    match (i.Instr.defs, i.Instr.uses) with
+    | Instr.Reg d :: _, [ Instr.Reg a; Instr.Reg b; Instr.Reg c ] ->
+      let sd = Mstate.reg_slot d
+      and sa = Mstate.reg_slot a
+      and sb = Mstate.reg_slot b
+      and sc = Mstate.reg_slot c in
+      fun st ->
+        Mstate.write_slot st sd
+          (Mstate.read_slot st sa
+          + (Mstate.read_slot st sb * Mstate.read_slot st sc))
+    | _ ->
+      let w = def () and a = use 0 and b = use 1 and c = use 2 in
+      fun st -> w st (a st + (b st * c st)))
+  | "NEG" -> unary (fun a -> -a)
+  | "NOT" -> unary lnot
+  | "ASL" -> unary (fun a -> a * 2)
+  | "ASR" -> unary (fun a -> a asr 1)
+  | "SAT" -> unary (Ir.Op.eval_unop Ir.Op.Sat ~width:16)
+  | "ADDI" -> (
+    match (i.Instr.defs, i.Instr.uses, op 0) with
+    | Instr.Reg d :: _, Instr.Reg a :: _, Instr.Imm k ->
+      let sd = Mstate.reg_slot d and sa = Mstate.reg_slot a in
+      fun st -> Mstate.write_slot st sd (Mstate.read_slot st sa + k)
+    | _ ->
+      let w = def () and a = use 0 and k = rd 0 in
+      fun st -> w st (a st + k st))
+  | "DO" | "LEA" ->
+    let w0 = Mstate.writer (op 0) and r1 = rd 1 in
+    fun st -> w0 st (r1 st)
+  | "LEAI" ->
+    let w0 = Mstate.writer (op 0) in
+    let r1 = rd 1 and r2 = rd 2 and r3 = rd 3 in
+    fun st -> w0 st (r1 st + (r3 st * r2 st))
   | opc -> invalid_arg ("dsp56: cannot execute " ^ opc)
 
 let machine =
@@ -321,7 +389,7 @@ let machine =
     agu = Some agu;
     naive_agu = Some naive_agu;
     spills = [ ("xy", spill_via "xy"); ("acc", spill_via "acc") ];
-    exec;
+    semantics;
     classification =
       {
         Classify.availability = Classify.Package;

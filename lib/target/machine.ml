@@ -66,9 +66,19 @@ type t = {
   agu : agu_support option;
   naive_agu : naive_support option;
   spills : (string * spill_ops) list;
-  exec : Mstate.t -> Instr.t -> unit;
+  semantics : Instr.t -> Mstate.t -> unit;
+      (** staged executable semantics: the opcode dispatch and operand
+          resolution happen once per instruction, the returned closure many
+          times.  The interpretive simulator applies it immediately
+          ({!exec}); the compiled simulator ([Sim.Compile]) keeps the
+          closure, so both engines share one definition of every opcode. *)
   classification : Classify.t;
 }
+
+(* The unstaged view: stage and run in one go.  This is what the
+   interpretive engine and hand-written tests call per executed
+   instruction. *)
+let exec m st i = m.semantics i st
 
 let create_ctx () =
   { buffer = []; next_vreg = 0; next_scratch = 0; scratch = []; consts = [] }

@@ -2,18 +2,115 @@
    register classes, machine modes, and a cycle counter.  Memory cells wrap
    to the machine word width on store; registers hold exact values (real
    accumulators are wider than a memory word, and the evaluation contract
-   keeps intermediates in range anyway). *)
+   keeps intermediates in range anyway).
+
+   Registers and modes live in dense int arrays indexed by a process-wide
+   interning table, not in per-state hash tables.  The compiled simulator
+   ([Sim.Compile]) resolves a register name to its slot once at translation
+   time and the staged closure then runs on raw array accesses; the unstaged
+   [get_reg]/[set_reg] entry points pay the interning lookup per call, which
+   is the interpretive engine's (acceptable) price for re-staging every
+   instruction.  The interning tables are append-only immutable maps swapped
+   with a compare-and-set, so staging is safe from any domain and the hot
+   path never takes a lock. *)
+
+module Rmap = Map.Make (struct
+  type t = Instr.reg
+
+  let compare = Stdlib.compare
+end)
+
+module Smap = Map.Make (String)
+
+let reg_table : (int Rmap.t * int) Atomic.t = Atomic.make (Rmap.empty, 0)
+let mode_table : (int Smap.t * int) Atomic.t = Atomic.make (Smap.empty, 0)
+
+let rec reg_slot (r : Instr.reg) =
+  let ((m, n) as cur) = Atomic.get reg_table in
+  match Rmap.find_opt r m with
+  | Some s -> s
+  | None ->
+    if Atomic.compare_and_set reg_table cur (Rmap.add r n m, n + 1) then n
+    else reg_slot r
+
+let rec mode_slot (name : string) =
+  let ((m, n) as cur) = Atomic.get mode_table in
+  match Smap.find_opt name m with
+  | Some s -> s
+  | None ->
+    if Atomic.compare_and_set mode_table cur (Smap.add name n m, n + 1) then n
+    else mode_slot name
+
+(* Modes hold small ints (0/1 in every current machine); [absent] marks a
+   mode the state has never seen so [get_mode] can fail on it. *)
+let absent = min_int
 
 type t = {
   width : int;
   layout : Layout.t;
   mem : int array;
-  regs : (Instr.reg, int) Hashtbl.t;
-  modes : (string, int) Hashtbl.t;
+  mutable rfile : int array; (* register values by global slot; default 0 *)
+  mutable mfile : int array; (* mode values by global slot; [absent] = unset *)
   mutable cycles : int;
-  mutable pending : (Instr.reg * int) list;
-      (* queued post-updates, newest first; see [apply_updates] *)
+  (* queued post-updates as parallel (register slot, delta) arrays in FIFO
+     order — a preallocated buffer, not a list, so the post-modify hot path
+     never allocates; see [apply_updates] *)
+  mutable pend_n : int;
+  mutable pend_slots : int array;
+  mutable pend_deltas : int array;
 }
+
+let grown a n fill =
+  let b = Array.make (max n (2 * Array.length a)) fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let write_slot_slow t s v =
+  t.rfile <- grown t.rfile (s + 1) 0;
+  t.rfile.(s) <- v
+
+let read_slot t s =
+  let a = t.rfile in
+  if s < Array.length a then Array.unsafe_get a s else 0
+
+let write_slot t s v =
+  let a = t.rfile in
+  if s < Array.length a then Array.unsafe_set a s v else write_slot_slow t s v
+
+let mode_read_slot t s =
+  let a = t.mfile in
+  if s < Array.length a then Array.unsafe_get a s else absent
+
+let mode_write_slot t s v =
+  let a = t.mfile in
+  if s < Array.length a then Array.unsafe_set a s v
+  else begin
+    t.mfile <- grown a (s + 1) absent;
+    t.mfile.(s) <- v
+  end
+
+let push_update_slow t s d =
+  t.pend_slots <- grown t.pend_slots (max 8 (t.pend_n + 1)) 0;
+  t.pend_deltas <- grown t.pend_deltas (max 8 (t.pend_n + 1)) 0;
+  t.pend_slots.(t.pend_n) <- s;
+  t.pend_deltas.(t.pend_n) <- d;
+  t.pend_n <- t.pend_n + 1
+
+let push_update t s d =
+  let n = t.pend_n in
+  if n < Array.length t.pend_slots then begin
+    Array.unsafe_set t.pend_slots n s;
+    Array.unsafe_set t.pend_deltas n d;
+    t.pend_n <- n + 1
+  end
+  else push_update_slow t s d
+
+(* Mode and pending-update arrays start as a shared empty array and are
+   only allocated on first write (every write path grows through [grown],
+   never mutating the shared empty) — most states never queue a post-modify
+   or touch a mode, and state creation is on the compiled engine's per-run
+   path. *)
+let no_ints : int array = [||]
 
 let create ?(width = 16) ~layout ~modes () =
   let t =
@@ -21,13 +118,15 @@ let create ?(width = 16) ~layout ~modes () =
       width;
       layout;
       mem = Array.make (max 1 (Layout.total_size layout)) 0;
-      regs = Hashtbl.create 17;
-      modes = Hashtbl.create 7;
+      rfile = Array.make (max 8 (snd (Atomic.get reg_table))) 0;
+      mfile = no_ints;
       cycles = 0;
-      pending = [];
+      pend_n = 0;
+      pend_slots = no_ints;
+      pend_deltas = no_ints;
     }
   in
-  List.iter (fun (m, v) -> Hashtbl.replace t.modes m v) modes;
+  List.iter (fun (m, v) -> mode_write_slot t (mode_slot m) v) modes;
   t
 
 let wrap width v =
@@ -37,16 +136,16 @@ let wrap width v =
 
 let store t addr v = t.mem.(addr) <- wrap t.width v
 let load t addr = t.mem.(addr)
+let get_reg t r = read_slot t (reg_slot r)
+let set_reg t r v = write_slot t (reg_slot r) v
 
-let get_reg t r = match Hashtbl.find_opt t.regs r with Some v -> v | None -> 0
-let set_reg t r v = Hashtbl.replace t.regs r v
+let unknown_mode m = invalid_arg ("Mstate: unknown mode " ^ m)
 
 let get_mode t m =
-  match Hashtbl.find_opt t.modes m with
-  | Some v -> v
-  | None -> invalid_arg ("Mstate: unknown mode " ^ m)
+  let v = mode_read_slot t (mode_slot m) in
+  if v = absent then unknown_mode m else v
 
-let set_mode t m v = Hashtbl.replace t.modes m v
+let set_mode t m v = mode_write_slot t (mode_slot m) v
 
 let get_var t name =
   let e = Layout.find t.layout name in
@@ -54,6 +153,11 @@ let get_var t name =
 
 let set_var t name values =
   let e = Layout.find t.layout name in
+  Array.blit values 0 t.mem e.Layout.addr (Array.length values)
+
+(* [set_var] with the layout entry already resolved — the compiled engine
+   looks entries up once per plan instead of once per run. *)
+let blit_entry t (e : Layout.entry) values =
   Array.blit values 0 t.mem e.Layout.addr (Array.length values)
 
 let add_cycles t n = t.cycles <- t.cycles + n
@@ -71,13 +175,19 @@ let vreg_error () =
 let post_update t inner u =
   match (inner, u) with
   | _, Instr.No_update -> ()
-  | Instr.Reg r, Instr.Post_inc -> t.pending <- (r, 1) :: t.pending
-  | Instr.Reg r, Instr.Post_dec -> t.pending <- (r, -1) :: t.pending
+  | Instr.Reg r, Instr.Post_inc -> push_update t (reg_slot r) 1
+  | Instr.Reg r, Instr.Post_dec -> push_update t (reg_slot r) (-1)
   | _ -> vreg_error ()
 
 let apply_updates t =
-  List.iter (fun (r, d) -> set_reg t r (get_reg t r + d)) (List.rev t.pending);
-  t.pending <- []
+  let n = t.pend_n in
+  if n > 0 then begin
+    for k = 0 to n - 1 do
+      let s = Array.unsafe_get t.pend_slots k in
+      write_slot t s (read_slot t s + Array.unsafe_get t.pend_deltas k)
+    done;
+    t.pend_n <- 0
+  end
 
 let rec read_operand t (o : Instr.operand) =
   match o with
@@ -103,3 +213,122 @@ let write_operand t (o : Instr.operand) v =
   | Instr.Vreg _ -> vreg_error ()
   | Instr.Imm _ | Instr.Adr _ ->
     invalid_arg "Mstate: cannot write to an immediate operand"
+
+(* ---- staged operand access ---------------------------------------------- *)
+
+(* The compiled simulator ([Sim.Compile]) resolves each operand's shape once
+   at translation time instead of re-dispatching on every execution: a
+   reader/writer is a closure with the constructor match, the operand-list
+   walks, and the register-slot interning already done.  Direct addresses
+   with a static index are memoized per closure, keyed on the layout's
+   identity, so a staged closure remains correct when one translated program
+   is run against many states — and race-benign across domains, because the
+   cache entry is a single immutable pair written with one atomic pointer
+   store. *)
+
+let reg_reader r =
+  let s = reg_slot r in
+  fun t -> read_slot t s
+
+let reg_writer r =
+  let s = reg_slot r in
+  fun t v -> write_slot t s v
+
+let mode_reader name =
+  let s = mode_slot name in
+  fun t ->
+    let v = mode_read_slot t s in
+    if v = absent then unknown_mode name else v
+
+let direct_address cache t r =
+  match !cache with
+  | Some (lay, addr) when lay == t.layout -> addr
+  | _ ->
+    let addr = Layout.address t.layout r ~ienv:[] in
+    cache := Some (t.layout, addr);
+    addr
+
+let base_address_memo cache t r =
+  match !cache with
+  | Some (lay, addr) when lay == t.layout -> addr
+  | _ ->
+    let addr = Layout.base_address t.layout r in
+    cache := Some (t.layout, addr);
+    addr
+
+let rec reader (o : Instr.operand) : t -> int =
+  match o with
+  | Instr.Reg r -> reg_reader r
+  | Instr.Imm k -> fun _ -> k
+  | Instr.Dir ({ Ir.Mref.index = Ir.Mref.Direct | Ir.Mref.Elem _; _ } as r) ->
+    (* [Layout.address] bounds-checks the offset against the entry and the
+       state's memory spans the whole layout, so a memoized address is
+       always in range for the layout it was resolved against *)
+    let cache = ref None in
+    fun t -> Array.unsafe_get t.mem (direct_address cache t r)
+  | Instr.Dir r ->
+    (* induction-indexed direct reference: the address depends on an
+       environment the simulator does not carry, so resolve per read like
+       [read_operand] (and fail the same way) *)
+    fun t -> load t (Layout.address t.layout r ~ienv:[])
+  | Instr.Adr r ->
+    let cache = ref None in
+    fun t -> base_address_memo cache t r
+  | Instr.Ind (Instr.Reg r, u, _) -> (
+    (* register-indirect: the dominant AGU shape — fully flattened, no
+       inner-reader closure *)
+    let s = reg_slot r in
+    match u with
+    | Instr.No_update -> fun t -> load t (read_slot t s)
+    | Instr.Post_inc ->
+      fun t ->
+        let v = load t (read_slot t s) in
+        push_update t s 1;
+        v
+    | Instr.Post_dec ->
+      fun t ->
+        let v = load t (read_slot t s) in
+        push_update t s (-1);
+        v)
+  | Instr.Ind (inner, u, _) -> (
+    let rd_inner = reader inner in
+    match u with
+    | Instr.No_update -> fun t -> load t (rd_inner t)
+    | _ ->
+      fun t ->
+        let v = load t (rd_inner t) in
+        post_update t inner u;
+        v)
+  | Instr.Vreg _ -> fun _ -> vreg_error ()
+
+let writer (o : Instr.operand) : t -> int -> unit =
+  match o with
+  | Instr.Reg r -> reg_writer r
+  | Instr.Dir ({ Ir.Mref.index = Ir.Mref.Direct | Ir.Mref.Elem _; _ } as r) ->
+    let cache = ref None in
+    fun t v ->
+      Array.unsafe_set t.mem (direct_address cache t r) (wrap t.width v)
+  | Instr.Dir r -> fun t v -> store t (Layout.address t.layout r ~ienv:[]) v
+  | Instr.Ind (Instr.Reg r, u, _) -> (
+    let s = reg_slot r in
+    match u with
+    | Instr.No_update -> fun t v -> store t (read_slot t s) v
+    | Instr.Post_inc ->
+      fun t v ->
+        store t (read_slot t s) v;
+        push_update t s 1
+    | Instr.Post_dec ->
+      fun t v ->
+        store t (read_slot t s) v;
+        push_update t s (-1))
+  | Instr.Ind (inner, u, _) -> (
+    let rd_inner = reader inner in
+    match u with
+    | Instr.No_update -> fun t v -> store t (rd_inner t) v
+    | _ ->
+      fun t v ->
+        store t (rd_inner t) v;
+        post_update t inner u)
+  | Instr.Vreg _ -> fun _ _ -> vreg_error ()
+  | Instr.Imm _ | Instr.Adr _ ->
+    fun _ _ -> invalid_arg "Mstate: cannot write to an immediate operand"

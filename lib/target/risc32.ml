@@ -231,39 +231,98 @@ let spills =
       } );
   ]
 
-let exec st (i : Instr.t) =
+(* Staged: operand shapes and the opcode dispatch resolve once per
+   instruction; see the note on [Machine.t.semantics]. *)
+let semantics (i : Instr.t) : Mstate.t -> unit =
   let op n = List.nth i.Instr.operands n in
-  let rd n = Mstate.read_operand st (op n) in
-  let use n = Mstate.read_operand st (List.nth i.Instr.uses n) in
+  let rd n = Mstate.reader (op n) in
+  let use n = Mstate.reader (List.nth i.Instr.uses n) in
   let def () =
     match i.Instr.defs with
-    | d :: _ -> d
+    | d :: _ -> Mstate.writer d
     | [] -> invalid_arg ("risc32: " ^ i.Instr.opcode ^ " without destination")
   in
-  let set v = Mstate.write_operand st (def ()) v in
+  (* all-register shapes — the common case after allocation — flatten to
+     direct slot accesses with no operand-closure chain *)
+  let unary f =
+    match (i.Instr.defs, i.Instr.uses) with
+    | Instr.Reg d :: _, Instr.Reg a :: _ ->
+      let sd = Mstate.reg_slot d and sa = Mstate.reg_slot a in
+      fun st -> Mstate.write_slot st sd (f (Mstate.read_slot st sa))
+    | _ ->
+      let w = def () and a = use 0 in
+      fun st -> w st (f (a st))
+  in
+  let binary f =
+    match (i.Instr.defs, i.Instr.uses) with
+    | Instr.Reg d :: _, Instr.Reg a :: Instr.Reg b :: _ ->
+      let sd = Mstate.reg_slot d
+      and sa = Mstate.reg_slot a
+      and sb = Mstate.reg_slot b in
+      fun st ->
+        Mstate.write_slot st sd
+          (f (Mstate.read_slot st sa) (Mstate.read_slot st sb))
+    | _ ->
+      let w = def () and a = use 0 and b = use 1 in
+      fun st -> w st (f (a st) (b st))
+  in
+  let shift f =
+    match (i.Instr.defs, i.Instr.uses, i.Instr.operands) with
+    | Instr.Reg d :: _, Instr.Reg a :: _, Instr.Imm k :: _ ->
+      let sd = Mstate.reg_slot d and sa = Mstate.reg_slot a in
+      fun st -> Mstate.write_slot st sd (f (Mstate.read_slot st sa) k)
+    | _ ->
+      let w = def () and a = use 0 and k = rd 0 in
+      fun st -> w st (f (a st) (k st))
+  in
   match i.Instr.opcode with
-  | "LW" -> set (rd 0)
-  | "SW" -> Mstate.write_operand st (op 0) (use 0)
+  | "LW" -> (
+    let r0 = rd 0 in
+    match i.Instr.defs with
+    | Instr.Reg d :: _ ->
+      let sd = Mstate.reg_slot d in
+      fun st -> Mstate.write_slot st sd (r0 st)
+    | _ ->
+      let w = def () in
+      fun st -> w st (r0 st))
+  | "SW" -> (
+    let w0 = Mstate.writer (op 0) in
+    match i.Instr.uses with
+    | Instr.Reg a :: _ ->
+      let sa = Mstate.reg_slot a in
+      fun st -> w0 st (Mstate.read_slot st sa)
+    | _ ->
+      let a = use 0 in
+      fun st -> w0 st (a st))
   | "LI" -> (
     match i.Instr.operands with
-    | [ Instr.Imm k ] -> set k
-    | [ c; Instr.Imm k ] -> Mstate.write_operand st c k
+    | [ Instr.Imm k ] ->
+      let w = def () in
+      fun st -> w st k
+    | [ c; Instr.Imm k ] ->
+      let wc = Mstate.writer c in
+      fun st -> wc st k
     | _ -> invalid_arg "risc32: LI operands")
-  | "ADDI" -> set (use 0 + rd 0)
-  | "ADD" -> set (use 0 + use 1)
-  | "SUB" -> set (use 0 - use 1)
-  | "MUL" -> set (use 0 * use 1)
-  | "AND" -> set (use 0 land use 1)
-  | "OR" -> set (use 0 lor use 1)
-  | "XOR" -> set (use 0 lxor use 1)
-  | "SLLI" -> set (Ir.Op.eval_binop Ir.Op.Shl (use 0) (rd 0))
-  | "SRAI" -> set (Ir.Op.eval_binop Ir.Op.Shr (use 0) (rd 0))
-  | "NEG" -> set (-use 0)
-  | "NOT" -> set (lnot (use 0))
-  | "SSAT" -> set (Ir.Op.eval_unop Ir.Op.Sat ~width:16 (use 0))
-  | "BNEZ" -> ()
-  | "LA" -> Mstate.write_operand st (op 0) (rd 1)
-  | "LAI" -> Mstate.write_operand st (op 0) (rd 1 + (rd 3 * rd 2))
+  | "ADDI" -> shift ( + )
+  | "ADD" -> binary ( + )
+  | "SUB" -> binary ( - )
+  | "MUL" -> binary ( * )
+  | "AND" -> binary ( land )
+  | "OR" -> binary ( lor )
+  | "XOR" -> binary ( lxor )
+  | "SLLI" -> shift (Ir.Op.eval_binop Ir.Op.Shl)
+  | "SRAI" -> shift (Ir.Op.eval_binop Ir.Op.Shr)
+  | "NEG" -> unary (fun a -> -a)
+  | "NOT" -> unary lnot
+  | "SSAT" -> unary (Ir.Op.eval_unop Ir.Op.Sat ~width:16)
+  | "BNEZ" -> fun _ -> ()
+  | "LA" ->
+    let w0 = Mstate.writer (op 0) and r1 = rd 1 in
+    fun st -> w0 st (r1 st)
+  | "LAI" ->
+    let w0 = Mstate.writer (op 0) in
+    let r1 = rd 1 and r2 = rd 2 and r3 = rd 3 in
+    fun st -> w0 st (r1 st + (r3 st * r2 st))
   | opc -> invalid_arg ("risc32: cannot execute " ^ opc)
 
 let machine =
@@ -287,7 +346,7 @@ let machine =
     agu = Some agu;
     naive_agu = Some naive_agu;
     spills;
-    exec;
+    semantics;
     classification =
       {
         Classify.availability = Classify.Package;

@@ -447,62 +447,127 @@ let spills =
 
 (* ---- executable semantics ---------------------------------------------- *)
 
-let exec st (i : Instr.t) =
+(* Staged: the opcode match, operand-list walks, and operand shape dispatch
+   run once per instruction; the returned closure only touches machine
+   state.  [Machine.exec] recovers the unstaged behaviour for the
+   interpretive engine, so both simulator engines share this single
+   definition of the instruction set. *)
+(* Slot numbers for the architectural registers and the OVM mode, resolved
+   once at module initialization; the staged closures below then run on
+   direct (inlinable) array-slot accesses. *)
+let s_acc = Mstate.reg_slot acc
+let s_treg = Mstate.reg_slot treg
+let s_preg = Mstate.reg_slot preg
+let s_ovm = Mstate.mode_slot "ovm"
+let rd_acc st = Mstate.read_slot st s_acc
+let wr_acc st v = Mstate.write_slot st s_acc v
+let rd_treg st = Mstate.read_slot st s_treg
+let wr_treg st v = Mstate.write_slot st s_treg v
+let rd_preg st = Mstate.read_slot st s_preg
+let wr_preg st v = Mstate.write_slot st s_preg v
+
+(* [sat_if] splits so the dominant OVM=0 path is small enough to inline:
+   one mode-slot read, one compare. *)
+let sat_slow ovm v =
+  if ovm = 1 then Ir.Op.eval_unop Ir.Op.Sat ~width:16 v
+  else if ovm = Mstate.absent then invalid_arg "Mstate: unknown mode ovm"
+  else v
+
+let sat_if st v =
+  let ovm = Mstate.mode_read_slot st s_ovm in
+  if ovm = 0 then v else sat_slow ovm v
+
+let semantics (i : Instr.t) : Mstate.t -> unit =
   let op n = List.nth i.Instr.operands n in
-  let rd n = Mstate.read_operand st (op n) in
-  let get = Mstate.get_reg st in
-  let set = Mstate.set_reg st in
-  let sat_if v =
-    if Mstate.get_mode st "ovm" = 1 then
-      Ir.Op.eval_unop Ir.Op.Sat ~width:16 v
-    else v
-  in
+  let rd n = Mstate.reader (op n) in
   match i.Instr.opcode with
-  | "ZAC" -> set acc 0
-  | "LACK" | "LAC" -> set acc (rd 0)
-  | "SACL" -> Mstate.write_operand st (op 0) (get acc)
-  | "ADD" | "ADDK" -> set acc (sat_if (get acc + rd 0))
-  | "SUB" | "SUBK" -> set acc (sat_if (get acc - rd 0))
-  | "AND" -> set acc (get acc land rd 0)
-  | "OR" -> set acc (get acc lor rd 0)
-  | "XOR" -> set acc (get acc lxor rd 0)
-  | "NEG" -> set acc (sat_if (-get acc))
-  | "CMPL" -> set acc (lnot (get acc))
-  | "SFL" -> set acc (sat_if (get acc * 2))
-  | "SFR" -> set acc (get acc asr 1)
-  | "LT" -> set treg (rd 0)
-  | "MPY" | "MPYK" -> set preg (get treg * rd 0)
-  | "PAC" -> set acc (sat_if (get preg))
-  | "APAC" -> set acc (sat_if (get acc + get preg))
-  | "SPAC" -> set acc (sat_if (get acc - get preg))
+  | "ZAC" -> fun st -> wr_acc st 0
+  | "LACK" | "LAC" ->
+    let r0 = rd 0 in
+    fun st -> wr_acc st (r0 st)
+  | "SACL" ->
+    let w0 = Mstate.writer (op 0) in
+    fun st -> w0 st (rd_acc st)
+  | "ADD" | "ADDK" ->
+    let r0 = rd 0 in
+    fun st -> wr_acc st (sat_if st (rd_acc st + r0 st))
+  | "SUB" | "SUBK" ->
+    let r0 = rd 0 in
+    fun st -> wr_acc st (sat_if st (rd_acc st - r0 st))
+  | "AND" ->
+    let r0 = rd 0 in
+    fun st -> wr_acc st (rd_acc st land r0 st)
+  | "OR" ->
+    let r0 = rd 0 in
+    fun st -> wr_acc st (rd_acc st lor r0 st)
+  | "XOR" ->
+    let r0 = rd 0 in
+    fun st -> wr_acc st (rd_acc st lxor r0 st)
+  | "NEG" -> fun st -> wr_acc st (sat_if st (-rd_acc st))
+  | "CMPL" -> fun st -> wr_acc st (lnot (rd_acc st))
+  | "SFL" -> fun st -> wr_acc st (sat_if st (rd_acc st * 2))
+  | "SFR" -> fun st -> wr_acc st (rd_acc st asr 1)
+  | "LT" ->
+    let r0 = rd 0 in
+    fun st -> wr_treg st (r0 st)
+  | "MPY" | "MPYK" ->
+    let r0 = rd 0 in
+    fun st -> wr_preg st (rd_treg st * r0 st)
+  | "PAC" -> fun st -> wr_acc st (sat_if st (rd_preg st))
+  | "APAC" -> fun st -> wr_acc st (sat_if st (rd_acc st + rd_preg st))
+  | "SPAC" -> fun st -> wr_acc st (sat_if st (rd_acc st - rd_preg st))
   | "DMOV" -> (
     match op 0 with
     | Instr.Dir r ->
-      let a = Mstate.read_operand st (Instr.Adr r) in
-      Mstate.store st (a + 1) (Mstate.load st a)
+      let rd_a = Mstate.reader (Instr.Adr r) in
+      fun st ->
+        let a = rd_a st in
+        Mstate.store st (a + 1) (Mstate.load st a)
     | Instr.Ind (Instr.Reg r, u, _) ->
-      let a = get r in
-      Mstate.store st (a + 1) (Mstate.load st a);
-      (match u with
-      | Instr.No_update -> ()
-      | Instr.Post_inc -> set r (a + 1)
-      | Instr.Post_dec -> set r (a - 1))
+      let s_r = Mstate.reg_slot r in
+      fun st ->
+        let a = Mstate.read_slot st s_r in
+        Mstate.store st (a + 1) (Mstate.load st a);
+        (match u with
+        | Instr.No_update -> ()
+        | Instr.Post_inc -> Mstate.write_slot st s_r (a + 1)
+        | Instr.Post_dec -> Mstate.write_slot st s_r (a - 1))
     | _ -> invalid_arg "tic25: DMOV needs a memory operand")
-  | "LARK" -> Mstate.write_operand st (op 0) (rd 1)
-  | "LARI" -> Mstate.write_operand st (op 0) (rd 1 + (rd 3 * rd 2))
-  | "BANZ" -> Mstate.write_operand st (op 0) (rd 0 - 1)
+  | "LARK" -> (
+    match i.Instr.operands with
+    | [ Instr.Reg r; Instr.Imm k ] ->
+      let s = Mstate.reg_slot r in
+      fun st -> Mstate.write_slot st s k
+    | _ ->
+      let w0 = Mstate.writer (op 0) in
+      let r1 = rd 1 in
+      fun st -> w0 st (r1 st))
+  | "LARI" ->
+    let w0 = Mstate.writer (op 0) in
+    let r1 = rd 1 and r2 = rd 2 and r3 = rd 3 in
+    fun st -> w0 st (r1 st + (r3 st * r2 st))
+  | "BANZ" -> (
+    match op 0 with
+    | Instr.Reg r ->
+      let s = Mstate.reg_slot r in
+      fun st -> Mstate.write_slot st s (Mstate.read_slot st s - 1)
+    | o ->
+      let w0 = Mstate.writer o and r0 = Mstate.reader o in
+      fun st -> w0 st (r0 st - 1))
   | "RPTMAC" ->
-    let n = rd 0 in
-    for _ = 1 to n do
-      set acc (sat_if (get acc + get preg));
-      set treg (rd 1);
-      set preg (get treg * rd 2);
-      (* RPT repeats the following word: each repetition is one instruction
-         execution, so its post-modifies land at the repetition boundary *)
-      Mstate.apply_updates st
-    done
-  | "SOVM" -> Mstate.set_mode st "ovm" 1
-  | "ROVM" -> Mstate.set_mode st "ovm" 0
+    let r0 = rd 0 and r1 = rd 1 and r2 = rd 2 in
+    fun st ->
+      let n = r0 st in
+      for _ = 1 to n do
+        wr_acc st (sat_if st (rd_acc st + rd_preg st));
+        wr_treg st (r1 st);
+        wr_preg st (rd_treg st * r2 st);
+        (* RPT repeats the following word: each repetition is one instruction
+           execution, so its post-modifies land at the repetition boundary *)
+        Mstate.apply_updates st
+      done
+  | "SOVM" -> fun st -> Mstate.set_mode st "ovm" 1
+  | "ROVM" -> fun st -> Mstate.set_mode st "ovm" 0
   | opc -> invalid_arg ("tic25: cannot execute " ^ opc)
 
 let machine =
@@ -530,7 +595,7 @@ let machine =
     agu = Some agu;
     naive_agu = Some naive_agu;
     spills;
-    exec;
+    semantics;
     classification =
       {
         Classify.availability = Classify.Core;

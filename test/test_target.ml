@@ -212,7 +212,7 @@ let test_tic25_exec_semantics () =
   let l = Target.Layout.make ~banks:[ "data" ] [ ("m", 1, "data") ] in
   let st = Target.Mstate.create ~layout:l ~modes:[ ("ovm", 0) ] () in
   Target.Mstate.set_var st "m" [| 7 |];
-  let exec = Target.Tic25.machine.Target.Machine.exec in
+  let exec = Target.Machine.exec Target.Tic25.machine in
   exec st (Target.Instr.make "LACK" ~operands:[ Target.Instr.Imm 100 ]);
   exec st (Target.Instr.make "ADD" ~operands:[ Target.Instr.Dir (Ir.Mref.scalar "m") ]);
   Alcotest.(check int) "acc" 107 (Target.Mstate.get_reg st Target.Tic25.acc);
@@ -231,7 +231,7 @@ let test_tic25_dmov () =
   let l = Target.Layout.make ~banks:[ "data" ] [ ("w", 2, "data") ] in
   let st = Target.Mstate.create ~layout:l ~modes:[] () in
   Target.Mstate.set_var st "w" [| 5; 0 |];
-  Target.Tic25.machine.Target.Machine.exec st
+  Target.Machine.exec Target.Tic25.machine st
     (Target.Instr.make "DMOV" ~operands:[ Target.Instr.Dir (Ir.Mref.scalar "w") ]);
   Alcotest.(check (array int)) "delay line" [| 5; 5 |]
     (Target.Mstate.get_var st "w")
@@ -241,7 +241,7 @@ let test_tic25_unknown_opcode () =
   let st = Target.Mstate.create ~layout:l ~modes:[] () in
   Alcotest.check_raises "unknown" (Invalid_argument "tic25: cannot execute XYZ")
     (fun () ->
-      Target.Tic25.machine.Target.Machine.exec st (Target.Instr.make "XYZ"))
+      Target.Machine.exec Target.Tic25.machine st (Target.Instr.make "XYZ"))
 
 let test_asip_param_validation () =
   let bad f =
