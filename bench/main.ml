@@ -482,6 +482,10 @@ let add_sel (a : Record.Pipeline.selection_stats)
       sel_variant_nodes = a.sel_variant_nodes + b.sel_variant_nodes;
       sel_nodes_labelled = a.sel_nodes_labelled + b.sel_nodes_labelled;
       sel_memo_hits = a.sel_memo_hits + b.sel_memo_hits;
+      sel_dag_cuts = a.sel_dag_cuts + b.sel_dag_cuts;
+      sel_cross_tree_cse = a.sel_cross_tree_cse + b.sel_cross_tree_cse;
+      sel_exh_trees = a.sel_exh_trees + b.sel_exh_trees;
+      sel_exh_wins = a.sel_exh_wins + b.sel_exh_wins;
     }
 
 type sweep_row = {
@@ -536,6 +540,31 @@ let selection_sweep () =
     { limit; cold_ms; warm_ms; words; sel }
   in
   let rows = List.map measure [ 64; 128; 256; 512 ] in
+  (* Selection-mode axis: per-kernel code size and the DAG/exhaustive
+     counters under each Options.selection_mode at the default variant
+     limit — the dag/exhaustive rows must never exceed tree anywhere, and
+     must beat it somewhere (the cross-tree reuse Table 1's hand assembly
+     exploits). *)
+  let measure_mode mode =
+    let options = Record.Options.with_selection_mode mode Record.Options.record_ in
+    let per_kernel, words, sel =
+      List.fold_left
+        (fun (per, words, sel) (k : Dspstone.Kernels.t) ->
+          let prog = Dspstone.Kernels.prog k in
+          let c = Record.Pipeline.compile ~options machine prog in
+          let w = Record.Pipeline.words c in
+          ( (k.Dspstone.Kernels.name, w) :: per,
+            words + w,
+            add_sel sel c.Record.Pipeline.selection ))
+        ([], 0, Record.Pipeline.no_selection)
+        Dspstone.Kernels.all
+    in
+    (mode, List.rev per_kernel, words, sel)
+  in
+  let mode_rows =
+    List.map measure_mode
+      [ Record.Options.Tree; Record.Options.Dag; Record.Options.Exhaustive ]
+  in
   Format.printf "%-6s %10s %10s %7s %9s %8s %9s %10s %10s@." "limit"
     "cold ms" "warm ms" "words" "variants" "pruned" "var nodes" "labelled"
     "memo hits";
@@ -557,6 +586,16 @@ let selection_sweep () =
       "limit 512 with sharing is %.2fx the pre-hashcons limit-64 cost@."
       (r.cold_ms /. seed_baseline_ms)
   | Some _ | None -> ());
+  Format.printf "@.%-12s %7s %10s %10s %10s %10s@." "mode" "words"
+    "dag cuts" "xtree cse" "exh trees" "exh wins";
+  List.iter
+    (fun (mode, _, words, sel) ->
+      Format.printf "%-12s %7d %10d %10d %10d %10d@."
+        (Record.Options.selection_mode_name mode)
+        words sel.Record.Pipeline.sel_dag_cuts
+        sel.Record.Pipeline.sel_cross_tree_cse
+        sel.Record.Pipeline.sel_exh_trees sel.Record.Pipeline.sel_exh_wins)
+    mode_rows;
   let row_json r =
     Driver.Json.Obj
       [
@@ -567,6 +606,18 @@ let selection_sweep () =
         ("selection", Driver.Job.selection_to_json r.sel);
       ]
   in
+  let mode_row_json (mode, per_kernel, words, sel) =
+    Driver.Json.Obj
+      [
+        ( "mode",
+          Driver.Json.String (Record.Options.selection_mode_name mode) );
+        ("words", Driver.Json.Int words);
+        ( "kernels",
+          Driver.Json.Obj
+            (List.map (fun (k, w) -> (k, Driver.Json.Int w)) per_kernel) );
+        ("selection", Driver.Job.selection_to_json sel);
+      ]
+  in
   let doc =
     Driver.Json.Obj
       [
@@ -575,6 +626,7 @@ let selection_sweep () =
         ("kernels", Driver.Json.Int (List.length progs));
         ("reps", Driver.Json.Int reps);
         ("rows", Driver.Json.List (List.map row_json rows));
+        ("modes", Driver.Json.List (List.map mode_row_json mode_rows));
         ( "seed_baseline",
           Driver.Json.Obj
             [
@@ -593,12 +645,12 @@ let selection_sweep () =
   output_char oc '\n';
   close_out oc;
   Format.printf "(rows written to BENCH_selection.json)@.@.";
-  rows
+  (rows, mode_rows)
 
 (* Counter-based budget for CI (wall-clock is too noisy for shared runners):
    with the shared DP table, labelling work must grow sub-linearly in the
    total size of the variant space, and the memo must actually fire. *)
-let assert_sharing rows =
+let assert_sharing (rows, mode_rows) =
   let fail = ref false in
   let check msg ok =
     Format.printf "%-64s %s@." msg (if ok then "OK" else "FAIL");
@@ -618,6 +670,31 @@ let assert_sharing rows =
     >= r64.sel.Record.Pipeline.sel_variants);
   check "covers never degrade (words at 512 <= words at 64)"
     (r512.words <= r64.words);
+  (* Selection-mode gates: DAG covering must exploit cross-tree sharing on
+     the Table-1 workload, never lose to tree covering on any kernel, and
+     strictly beat it on at least one; the exhaustive mode contains the
+     bounded enumeration, so it can never lose either. *)
+  let mode_row m =
+    let _, per, words, sel = List.find (fun (m', _, _, _) -> m' = m) mode_rows in
+    (per, words, sel)
+  in
+  let tree_per, tree_words, _ = mode_row Record.Options.Tree in
+  let dag_per, dag_words, dag_sel = mode_row Record.Options.Dag in
+  let exh_per, _, exh_sel = mode_row Record.Options.Exhaustive in
+  check "dag: cross-tree CSE fires on Table 1 (cross_tree_cse > 0)"
+    (dag_sel.Record.Pipeline.sel_cross_tree_cse > 0);
+  check "dag: no kernel regresses vs tree"
+    (List.for_all2
+       (fun (k, tw) (k', dw) -> k = k' && dw <= tw)
+       tree_per dag_per);
+  check "dag: at least one kernel strictly smaller than tree"
+    (dag_words < tree_words);
+  check "exhaustive: searches run on Table 1 (exh_trees > 0)"
+    (exh_sel.Record.Pipeline.sel_exh_trees > 0);
+  check "exhaustive: no kernel regresses vs tree"
+    (List.for_all2
+       (fun (k, tw) (k', ew) -> k = k' && ew <= tw)
+       tree_per exh_per);
   if !fail then begin
     Format.printf "selection sharing budget violated@.";
     exit 1
@@ -776,6 +853,7 @@ let dse_sweep () =
       kernels = [ "fir"; "dot_product"; "iir_biquad_one_section" ];
       domains = 1;
       cache = Some cache;
+      selection = Record.Options.Tree;
     }
   in
   let cold = Dse.Sweep.run config in

@@ -70,6 +70,37 @@ let machine_of target target_file =
     | exception Sys_error msg -> or_die (Error msg))
   | None -> or_die (find_machine target)
 
+(* --selection on compile/fuzz/batch/dse: the instruction-selection scope
+   of Options.selection_mode. *)
+let selection_enum =
+  Arg.enum
+    [
+      ("tree", Record.Options.Tree);
+      ("dag", Record.Options.Dag);
+      ("exhaustive", Record.Options.Exhaustive);
+    ]
+
+let selection_doc =
+  "Instruction-selection scope: $(b,tree) covers each data-flow tree \
+   independently, $(b,dag) shares subtree results across tree boundaries \
+   (DAG covering), $(b,exhaustive) adds a bounded exhaustive search over \
+   small trees"
+
+let selection_arg =
+  Arg.(
+    value
+    & opt selection_enum Record.Options.Tree
+    & info [ "selection" ] ~docv:"MODE" ~doc:selection_doc)
+
+(* batch: an override — absent means each job's own "selection" member
+   (default tree) stands. *)
+let selection_override_arg =
+  Arg.(
+    value
+    & opt (some selection_enum) None
+    & info [ "selection" ] ~docv:"MODE"
+        ~doc:(selection_doc ^ "; overrides every job's own selection member"))
+
 (* Cache selection shared by [compile --json] and [batch]: an explicit
    --cache-dir wins, --no-cache disables the disk tier entirely, and the
    default is the persistent user cache. *)
@@ -83,13 +114,14 @@ let cache_of ~no_cache ~cache_dir =
     in
     Some (Driver.Cache.create ~dir ())
 
-let compile_cmd file target target_file conventional check inputs json
-    no_cache cache_dir =
+let compile_cmd file target target_file conventional selection check inputs
+    json no_cache cache_dir =
   let machine = machine_of target target_file in
   let options_label = if conventional then "conventional" else "record" in
   let options =
     if conventional then Record.Options.conventional else Record.Options.record_
   in
+  let options = Record.Options.with_selection_mode selection options in
   let prog =
     try Dfl.Lower.source (read_file file) with
     | Dfl.Lexer.Error msg | Dfl.Parser.Error msg | Dfl.Lower.Error msg ->
@@ -148,6 +180,9 @@ let compile_cmd file target target_file conventional check inputs json
            ("file", Driver.Json.String file);
            ("target", Driver.Json.String machine.Target.Machine.name);
            ("options", Driver.Json.String options_label);
+           ( "selection_mode",
+             Driver.Json.String
+               (Record.Options.selection_mode_name selection) );
            ( "options_digest",
              Driver.Json.String (Record.Options.digest options) );
            ("key", Driver.Json.String outcome.Driver.Service.key);
@@ -246,8 +281,8 @@ let compile_t =
     (Cmd.info "compile" ~doc:"Compile a DFL program")
     Term.(
       const compile_cmd $ file_arg $ target_arg $ target_file_arg
-      $ conventional_arg $ check_arg $ inputs_arg $ json_arg $ no_cache_arg
-      $ cache_dir_arg)
+      $ conventional_arg $ selection_arg $ check_arg $ inputs_arg $ json_arg
+      $ no_cache_arg $ cache_dir_arg)
 
 (* ---- targets --------------------------------------------------------------- *)
 
@@ -430,14 +465,16 @@ let timing_t =
 
 (* ---- fuzz -------------------------------------------------------------------- *)
 
-let fuzz_cmd seed count max_size targets record_only no_shrink sim_name =
+let fuzz_cmd seed count max_size targets record_only selection no_shrink
+    sim_name =
   let selected =
     match targets with
     | [] -> Driver.Registry.machines ()
     | names -> List.map (fun n -> or_die (find_machine n)) names
   in
   let combos =
-    Fuzz.Oracle.combos_for ~machines:selected ~conventional:(not record_only)
+    Fuzz.Oracle.combos_for ~selection ~machines:selected
+      ~conventional:(not record_only) ()
   in
   let sim =
     match sim_name with
@@ -459,11 +496,17 @@ let fuzz_cmd seed count max_size targets record_only no_shrink sim_name =
            option set was RECORD's (a conventional-baseline failure needs
            both option sets, which is the default). *)
         Format.printf
-          "reproduce: record fuzz --seed %d --count %d --max-size %d --target %s%s --sim=%s  # failing case %d on %s, options %s@."
+          "reproduce: record fuzz --seed %d --count %d --max-size %d --target %s%s%s --sim=%s  # failing case %d on %s, options %s@."
           c.Fuzz.Oracle.case.Fuzz.Gen.seed
           (c.Fuzz.Oracle.case.Fuzz.Gen.index + 1)
           max_size c.Fuzz.Oracle.target
           (if c.Fuzz.Oracle.record_options then " --record-only" else "")
+          (* The active selection mode is part of the failing configuration;
+             the default stays implicit so pre-existing lines still apply. *)
+          (match selection with
+          | Record.Options.Tree -> ""
+          | Record.Options.Dag | Record.Options.Exhaustive ->
+            " --selection=" ^ Record.Options.selection_mode_name selection)
           sim_name c.Fuzz.Oracle.case.Fuzz.Gen.index c.Fuzz.Oracle.combo
           c.Fuzz.Oracle.options_digest)
       report.Fuzz.Oracle.counterexamples;
@@ -518,7 +561,7 @@ let fuzz_t =
              counterexample)")
     Term.(
       const fuzz_cmd $ seed_arg $ count_arg $ max_size_arg $ fuzz_targets_arg
-      $ record_only_arg $ no_shrink_arg $ sim_arg)
+      $ record_only_arg $ selection_arg $ no_shrink_arg $ sim_arg)
 
 (* ---- batch ------------------------------------------------------------------- *)
 
@@ -542,15 +585,15 @@ let pp_batch_status ppf (r : Driver.Job.result) =
   | Driver.Job.Timed_out s -> Format.fprintf ppf "TIMEOUT after %.1f s" s
   | Driver.Job.Crashed msg -> Format.fprintf ppf "CRASHED %s" msg
 
-let batch_cmd jobs_file jobs_n domains timeout no_cache cache_dir out json
-    compact deterministic require_hit_rate =
+let batch_cmd jobs_file jobs_n domains timeout selection no_cache cache_dir
+    out json compact deterministic require_hit_rate =
   let doc =
     match Driver.Json.of_string (read_file jobs_file) with
     | Ok doc -> doc
     | Error msg -> or_die (Error (jobs_file ^ ": " ^ msg))
     | exception Sys_error msg -> or_die (Error msg)
   in
-  let jobs = or_die (Driver.Protocol.jobs_of_json doc) in
+  let jobs = or_die (Driver.Protocol.jobs_of_json ?selection doc) in
   if domains <> None && timeout <> None then
     or_die
       (Error
@@ -676,8 +719,8 @@ let batch_t =
              cache (exit 1 on any failed job)")
     Term.(
       const batch_cmd $ jobs_file_arg $ jobs_n_arg $ domains_arg
-      $ timeout_arg $ no_cache_arg $ cache_dir_arg $ out_arg
-      $ batch_json_arg $ compact_arg $ deterministic_arg
+      $ timeout_arg $ selection_override_arg $ no_cache_arg $ cache_dir_arg
+      $ out_arg $ batch_json_arg $ compact_arg $ deterministic_arg
       $ require_hit_rate_arg)
 
 (* ---- serve ------------------------------------------------------------------- *)
@@ -725,8 +768,8 @@ let serve_t =
 
 (* ---- dse --------------------------------------------------------------------- *)
 
-let dse_cmd seed samples domains kernels out no_cache cache_dir json
-    require_hit_rate =
+let dse_cmd seed samples domains kernels selection out no_cache cache_dir
+    json require_hit_rate =
   if samples < 1 then or_die (Error "--samples must be at least 1");
   let kernels =
     List.concat_map (String.split_on_char ',') kernels
@@ -741,7 +784,9 @@ let dse_cmd seed samples domains kernels out no_cache cache_dir json
     | None -> Driver.Pool.default_domains ()
   in
   let cache = cache_of ~no_cache ~cache_dir in
-  let config = { Dse.Sweep.seed; samples; kernels; domains; cache } in
+  let config =
+    { Dse.Sweep.seed; samples; kernels; domains; cache; selection }
+  in
   let result =
     match Dse.Sweep.run config with
     | r -> r
@@ -810,8 +855,8 @@ let dse_t =
              the front is empty)")
     Term.(
       const dse_cmd $ dse_seed_arg $ dse_samples_arg $ domains_arg
-      $ dse_kernels_arg $ dse_out_arg $ no_cache_arg $ cache_dir_arg
-      $ dse_json_arg $ require_hit_rate_arg)
+      $ dse_kernels_arg $ selection_arg $ dse_out_arg $ no_cache_arg
+      $ cache_dir_arg $ dse_json_arg $ require_hit_rate_arg)
 
 (* ---- table1 ------------------------------------------------------------------ *)
 

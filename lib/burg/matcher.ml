@@ -233,6 +233,9 @@ let best_entry ?nt m h =
 
 let best_h ?nt m h = Option.map (fun e -> e.cover) (best_entry ?nt m h)
 
+let best_with_cost ?nt m h =
+  Option.map (fun e -> (e.cover, e.cost)) (best_entry ?nt m h)
+
 let best ?nt m t = best_h ?nt m (Ir.Hashcons.intern t)
 
 let best_of_hvariants ?nt m hvariants =

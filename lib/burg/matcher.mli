@@ -46,6 +46,11 @@ val best_h : ?nt:string -> t -> Ir.Hashcons.h -> Cover.t option
     descends the handle DAG with O(1) id-keyed probes and never hashes a
     tree. *)
 
+val best_with_cost :
+  ?nt:string -> t -> Ir.Hashcons.h -> (Cover.t * int) option
+(** [best_h] plus the DP entry's cost — what variant-ranking selectors
+    compare without a [Cover.cost] walk per candidate. *)
+
 val best_of_variants : ?nt:string -> t -> Ir.Tree.t list -> (Ir.Tree.t * Cover.t) option
 (** The variant with the cheapest cover; ties break toward the earlier
     variant. [None] when no variant can be covered. *)

@@ -1,9 +1,12 @@
 type selection = Optimal_variants | Optimal_single | Naive_macro
 
+type selection_mode = Tree | Dag | Exhaustive
+
 type agu_strategy = Streams | Materialize_ivar
 
 type t = {
   selection : selection;
+  selection_mode : selection_mode;
   variant_limit : int;
   algebra_rules : Ir.Algebra.rule list;
   cse : bool;
@@ -13,11 +16,13 @@ type t = {
   compaction : bool;
   membank : bool;
   unroll_limit : int;
+  exhaustive_budget : int;
 }
 
 let record_ =
   {
     selection = Optimal_variants;
+    selection_mode = Tree;
     (* 512, not 64: with hash-consed variants and an id-keyed shared DP
        table, matching a variant costs O(new nodes), so the deeper closure
        is cheaper than the old limit-64 enumeration was.  Variant sets are
@@ -31,11 +36,13 @@ let record_ =
     compaction = true;
     membank = true;
     unroll_limit = 0;
+    exhaustive_budget = 14;
   }
 
 let conventional =
   {
     selection = Naive_macro;
+    selection_mode = Tree;
     variant_limit = 1;
     algebra_rules = [];
     cse = false;
@@ -45,6 +52,7 @@ let conventional =
     compaction = false;
     membank = false;
     unroll_limit = 0;
+    exhaustive_budget = 14;
   }
 
 let with_folding t =
@@ -52,12 +60,25 @@ let with_folding t =
 
 let with_unrolling limit t = { t with unroll_limit = limit }
 
+let with_selection_mode mode t = { t with selection_mode = mode }
+
 (* ---- Stable fingerprint --------------------------------------------------- *)
 
 let selection_name = function
   | Optimal_variants -> "optimal-variants"
   | Optimal_single -> "optimal-single"
   | Naive_macro -> "naive-macro"
+
+let selection_mode_name = function
+  | Tree -> "tree"
+  | Dag -> "dag"
+  | Exhaustive -> "exhaustive"
+
+let selection_mode_of_string = function
+  | "tree" -> Some Tree
+  | "dag" -> Some Dag
+  | "exhaustive" -> Some Exhaustive
+  | _ -> None
 
 let agu_name = function
   | Streams -> "streams"
@@ -82,6 +103,7 @@ let to_string t =
   String.concat ","
     [
       "selection=" ^ selection_name t.selection;
+      "selection-mode=" ^ selection_mode_name t.selection_mode;
       "variant-limit=" ^ string_of_int t.variant_limit;
       "algebra=" ^ String.concat "+" (List.map rule_name t.algebra_rules);
       "cse=" ^ string_of_bool t.cse;
@@ -91,6 +113,7 @@ let to_string t =
       "compaction=" ^ string_of_bool t.compaction;
       "membank=" ^ string_of_bool t.membank;
       "unroll=" ^ string_of_int t.unroll_limit;
+      "exhaustive-budget=" ^ string_of_int t.exhaustive_budget;
     ]
 
 let digest t = Digest.to_hex (Digest.string (to_string t))

@@ -14,6 +14,20 @@ type selection =
       (** conventional compiler: every interior node is homed to memory and
           matched alone (macro expansion) *)
 
+type selection_mode =
+  | Tree
+      (** per-tree covering: the flow graph is decomposed into data-flow
+          trees and each is covered independently (the paper's scheme) *)
+  | Dag
+      (** DAG covering over the hash-consed IR: shared subtrees detected by
+          canonical id across tree boundaries are materialized at most once
+          (register reuse or scratch cell), and variant choice at each tree
+          is aware of the machine state left by the previous tree *)
+  | Exhaustive
+      (** [Dag] plus a bounded exhaustive search over the full algebraic
+          closure for trees within {!t.exhaustive_budget} nodes; found
+          optima can be persisted in the driver's content-addressed cache *)
+
 type agu_strategy =
   | Streams  (** one auto-increment address register per access stream *)
   | Materialize_ivar
@@ -22,6 +36,9 @@ type agu_strategy =
 
 type t = {
   selection : selection;
+  selection_mode : selection_mode;
+      (** how trees are grouped and ranked during covering; orthogonal to
+          [selection], which picks the per-tree variant policy *)
   variant_limit : int;  (** cap on algebraic variants per tree *)
   algebra_rules : Ir.Algebra.rule list;
   cse : bool;  (** share common subexpressions across a block (Fig. 4) *)
@@ -35,6 +52,10 @@ type t = {
           straight-line code (0 disables; disabled in both standard
           configurations — unrolling trades the code size Table 1 measures
           for cycles, so it is an explicit choice) *)
+  exhaustive_budget : int;
+      (** node-count cap for trees eligible for the [Exhaustive] closure
+          search (depth is bounded by node count); larger trees fall back
+          to the bounded variant enumeration *)
 }
 
 val record_ : t
@@ -54,6 +75,15 @@ val with_folding : t -> t
 
 val with_unrolling : int -> t -> t
 (** Ablation: fully unroll loops of at most the given trip count. *)
+
+val with_selection_mode : selection_mode -> t -> t
+
+val selection_mode_name : selection_mode -> string
+(** "tree" / "dag" / "exhaustive" — the spelling used by [to_string], the
+    [--selection] CLI flags, the batch protocol's "selection" member, and
+    the fuzzer's reproduce lines. *)
+
+val selection_mode_of_string : string -> selection_mode option
 
 val to_string : t -> string
 (** Renders every field by name, in declaration order — a stable structural

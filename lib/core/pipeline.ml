@@ -16,6 +16,10 @@ type selection_stats = {
   sel_variant_nodes : int;
   sel_nodes_labelled : int;
   sel_memo_hits : int;
+  sel_dag_cuts : int;
+  sel_cross_tree_cse : int;
+  sel_exh_trees : int;
+  sel_exh_wins : int;
 }
 
 let no_selection =
@@ -27,6 +31,10 @@ let no_selection =
     sel_variant_nodes = 0;
     sel_nodes_labelled = 0;
     sel_memo_hits = 0;
+    sel_dag_cuts = 0;
+    sel_cross_tree_cse = 0;
+    sel_exh_trees = 0;
+    sel_exh_wins = 0;
   }
 
 type compiled = {
@@ -141,7 +149,12 @@ let source_rewrite (options : Options.t) (prog : Ir.Prog.t) =
     else body
   in
   let body =
-    if options.cse then
+    (* Under DAG covering, sharing decisions move from the source level to
+       the selection level: the run planner (Select.Dag) sees the shared
+       subtrees via canonical ids and decides cut vs. register reuse by
+       trial emission — a pre-pass that cuts everything to memory would
+       make that decision for it, and always in favour of the round-trip. *)
+    if options.cse && options.selection_mode = Options.Tree then
       rewrite_blocks
         (fun block ->
           let stmts, decls = Ir.Dfg.decompose block in
@@ -250,29 +263,84 @@ let naive_stmt_addresses machine ctx cells ~dst ~src =
   in
   rewrite
 
-let rec lower machine matcher ctx (options : Options.t) stats sel cells items =
-  List.concat_map
-    (fun item ->
-      match item with
-      | Ir.Prog.Stmt { dst; src } ->
-        let rewrite =
-          match options.agu with
-          | Options.Materialize_ivar when cells <> [] ->
-            naive_stmt_addresses machine ctx cells ~dst ~src
-          | Options.Materialize_ivar | Options.Streams -> fun op -> op
-        in
-        let addr_pre = Target.Machine.drain ctx in
-        let cover = select matcher options stats sel src in
-        let value = Target.Machine.run_cover machine ctx cover in
-        machine.Target.Machine.store ctx dst value;
-        let body = Target.Machine.drain ctx in
-        List.map
-          (fun i -> Target.Asm.Op (Target.Instr.map_operands rewrite i))
-          (addr_pre @ body)
-      | Ir.Prog.Loop { ivar; count; body } -> (
-        match options.agu with
+(* Selection-level state of one DAG/Exhaustive compilation: the run
+   planner's candidate generator plus the counters it accumulates. *)
+type dag_state = {
+  dconfig : Select.Dag.config;
+  dlvn : Select.Lvn.counters;
+  dcounters : Select.Dag.counters;
+  dexh : Select.Exhaustive.counters;
+}
+
+(* Lowering walks the items grouped into maximal straight-line statement
+   runs. In Tree mode a run is simply lowered statement by statement
+   (byte-identical to per-item lowering); in Dag/Exhaustive mode the whole
+   run goes to the Select.Dag planner, which shares subtree results and
+   chooses variants against the machine state earlier statements left. *)
+let rec lower machine matcher ctx (options : Options.t) stats sel dag cells
+    items =
+  let rewrite_for (s : Ir.Prog.stmt) =
+    match options.agu with
+    | Options.Materialize_ivar when cells <> [] ->
+      naive_stmt_addresses machine ctx cells ~dst:s.dst ~src:s.src
+    | Options.Materialize_ivar | Options.Streams -> fun op -> op
+  in
+  let tree_stmt (s : Ir.Prog.stmt) =
+    let rewrite = rewrite_for s in
+    let addr_pre = Target.Machine.drain ctx in
+    let cover = select matcher options stats sel s.src in
+    let value = Target.Machine.run_cover machine ctx cover in
+    machine.Target.Machine.store ctx s.dst value;
+    let body = Target.Machine.drain ctx in
+    List.map
+      (fun i -> Target.Asm.Op (Target.Instr.map_operands rewrite i))
+      (addr_pre @ body)
+  in
+  let lower_run stmts =
+    match dag with
+    | None -> List.concat_map tree_stmt stmts
+    | Some d ->
+      let note_cover ~cost ~tried =
+        stats :=
+          {
+            !stats with
+            variants_tried = (!stats).variants_tried + tried;
+            cover_cost = (!stats).cover_cost + cost;
+          }
+      in
+      let instrs =
+        try
+          Select.Dag.lower_run ~machine ~matcher ~config:d.dconfig
+            ~lvn_counters:d.dlvn ~counters:d.dcounters ~note_cover
+            ~rewrite_for ctx stmts
+        with Select.Dag.No_cover t ->
+          raise (Error ("no instruction cover for " ^ Ir.Tree.to_string t))
+      in
+      List.map (fun i -> Target.Asm.Op i) instrs
+  in
+  let flush run acc =
+    if run = [] then acc else acc @ lower_run (List.rev run)
+  in
+  let rec scan items run acc =
+    match items with
+    | [] -> flush run acc
+    | Ir.Prog.Stmt s :: rest -> scan rest (s :: run) acc
+    | Ir.Prog.Loop { ivar; count; body } :: rest ->
+      let acc = flush run acc in
+      scan rest []
+        (acc
+        @ lower_loop_item machine matcher ctx options stats sel dag cells
+            ~ivar ~count body)
+  in
+  scan items [] []
+
+and lower_loop_item machine matcher ctx (options : Options.t) stats sel dag
+    cells ~ivar ~count body =
+  (match options.agu with
         | Options.Streams ->
-          let body_items = lower machine matcher ctx options stats sel cells body in
+          let body_items =
+            lower machine matcher ctx options stats sel dag cells body
+          in
           (* Address streams of this loop, before the loop-control
              instructions so hardware loops stay adjacent to their body. *)
           let inits, body_items, residual_ivar =
@@ -309,8 +377,8 @@ let rec lower machine matcher ctx (options : Options.t) stats sel cells items =
           naive.Target.Machine.zero_cell ctx cell;
           let init = Target.Machine.drain ctx in
           let body_items =
-            lower machine matcher ctx options stats sel ((ivar, cell) :: cells)
-              body
+            lower machine matcher ctx options stats sel dag
+              ((ivar, cell) :: cells) body
           in
           naive.Target.Machine.incr_cell ctx cell;
           let incr = Target.Machine.drain ctx in
@@ -330,8 +398,7 @@ let rec lower machine matcher ctx (options : Options.t) stats sel cells items =
                     body_items
                     @ List.map (fun i -> Target.Asm.Op i) (incr @ close);
                 };
-            ]))
-    items
+            ])
 
 (* No induction reference may survive to allocation. *)
 let check_no_induct items =
@@ -443,9 +510,54 @@ let compile ?(options = Options.record_) ?matcher machine (prog : Ir.Prog.t) =
       variant_nodes = 0;
     }
   in
+  let dag =
+    match options.selection_mode with
+    | Options.Tree -> None
+    | Options.Dag | Options.Exhaustive ->
+      let exh = Select.Exhaustive.fresh_counters () in
+      let salt = Select.Exhaustive.machine_salt machine in
+      let budget =
+        Select.Exhaustive.budget_of_nodes options.exhaustive_budget
+      in
+      (* The planner calls this once per distinct canonical tree per run,
+         so the per-tree selection counters keep their Tree-mode meaning. *)
+      let base_variants (h : Ir.Hashcons.h) =
+        sel.trees <- sel.trees + 1;
+        let variants =
+          match options.selection with
+          | Options.Optimal_variants ->
+            Ir.Algebra.hvariants ~rules:options.algebra_rules
+              ~limit:options.variant_limit ~counters:sel.vc h
+          | Options.Optimal_single | Options.Naive_macro -> [ h ]
+        in
+        sel.variants_matched <- sel.variants_matched + List.length variants;
+        sel.variant_nodes <-
+          List.fold_left
+            (fun acc (v : Ir.Hashcons.h) -> acc + v.Ir.Hashcons.size)
+            sel.variant_nodes variants;
+        variants
+      in
+      let variants h =
+        let regular = base_variants h in
+        match options.selection_mode with
+        | Options.Exhaustive ->
+          Select.Exhaustive.search ~matcher ~rules:options.algebra_rules
+            ~budget ~salt ~counters:exh ~regular h
+        | Options.Tree | Options.Dag -> regular
+      in
+      Some
+        {
+          dconfig = { Select.Dag.variants; max_candidates = 12 };
+          dlvn = Select.Lvn.fresh_counters ();
+          dcounters = Select.Dag.fresh_counters ();
+          dexh = exh;
+        }
+  in
   let items =
     timed "select-emit" (fun () ->
-        let items = lower machine matcher ctx options stats sel [] prog'.body in
+        let items =
+          lower machine matcher ctx options stats sel dag [] prog'.body
+        in
         check_no_induct items;
         items)
   in
@@ -460,6 +572,18 @@ let compile ?(options = Options.record_) ?matcher machine (prog : Ir.Prog.t) =
       sel_nodes_labelled =
         mc1.Burg.Matcher.nodes_labelled - mc0.Burg.Matcher.nodes_labelled;
       sel_memo_hits = mc1.Burg.Matcher.memo_hits - mc0.Burg.Matcher.memo_hits;
+      sel_dag_cuts = (match dag with None -> 0 | Some d -> d.dcounters.cuts);
+      sel_cross_tree_cse =
+        (match dag with
+        | None -> 0
+        | Some d ->
+          d.dlvn.Select.Lvn.cross_stmt + d.dcounters.Select.Dag.cut_reuses);
+      sel_exh_trees =
+        (match dag with
+        | None -> 0
+        | Some d -> d.dexh.Select.Exhaustive.searched);
+      sel_exh_wins =
+        (match dag with None -> 0 | Some d -> d.dexh.Select.Exhaustive.wins);
     }
   in
   let items =

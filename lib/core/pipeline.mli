@@ -31,6 +31,18 @@ type selection_stats = {
       (** DP-table entries computed, i.e. distinct subtrees labelled; the
           gap to [sel_variant_nodes] is the shared-table saving *)
   sel_memo_hits : int;  (** labellings served from the shared DP table *)
+  sel_dag_cuts : int;
+      (** shared subtrees the DAG planner materialized into scratch cells
+          (zero under [Tree] selection) *)
+  sel_cross_tree_cse : int;
+      (** values reused across statement boundaries: LVN eliminations that
+          crossed a tree boundary plus cut occurrences served beyond each
+          cut's definition *)
+  sel_exh_trees : int;
+      (** trees put through the bounded exhaustive closure search *)
+  sel_exh_wins : int;
+      (** exhaustive searches whose best cover beat the bounded variant
+          enumeration *)
 }
 (** Counters from the selection phase (variant generation + BURG matching),
     deltas for this compilation even when the matcher is shared. *)

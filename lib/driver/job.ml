@@ -130,6 +130,10 @@ let to_json job =
        ("source", Json.String job.source);
        ("target", Json.String job.target);
        ("options", Json.String job.options_label);
+       ( "selection",
+         Json.String
+           (Record.Options.selection_mode_name
+              job.options.Record.Options.selection_mode) );
        ("options_digest", Json.String (Record.Options.digest job.options));
        ("kind", Json.String (kind_name job.kind));
      ]
@@ -155,6 +159,10 @@ let selection_to_json (s : Record.Pipeline.selection_stats) =
       ("variant_nodes", Json.Int s.Record.Pipeline.sel_variant_nodes);
       ("nodes_labelled", Json.Int s.Record.Pipeline.sel_nodes_labelled);
       ("memo_hits", Json.Int s.Record.Pipeline.sel_memo_hits);
+      ("dag_cuts", Json.Int s.Record.Pipeline.sel_dag_cuts);
+      ("cross_tree_cse", Json.Int s.Record.Pipeline.sel_cross_tree_cse);
+      ("exh_trees", Json.Int s.Record.Pipeline.sel_exh_trees);
+      ("exh_wins", Json.Int s.Record.Pipeline.sel_exh_wins);
     ]
 
 let outputs_to_json outputs =

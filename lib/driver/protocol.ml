@@ -19,7 +19,7 @@ let read_file path =
   close_in ic;
   s
 
-let job_of_json id j =
+let job_of_json ?selection id j =
   let ( let* ) = Result.bind in
   let str_field name = Option.bind (Json.member name j) Json.to_string_lit in
   let* source, prog, default_inputs, default_kind =
@@ -48,6 +48,22 @@ let job_of_json id j =
     | "record" -> Ok ("record", Record.Options.record_)
     | "conventional" -> Ok ("conventional", Record.Options.conventional)
     | other -> Error (Printf.sprintf "job %d: unknown options %S" id other)
+  in
+  (* Selection mode: the job's optional "selection" member, overridden by
+     the caller's [selection] (the batch CLI's [--selection] flag). The
+     label is left alone — the mode shows up in the job's "selection"
+     field and in its options digest. *)
+  let* options =
+    match selection with
+    | Some mode -> Ok (Record.Options.with_selection_mode mode options)
+    | None -> (
+      match str_field "selection" with
+      | None -> Ok options
+      | Some s -> (
+        match Record.Options.selection_mode_of_string s with
+        | Some mode -> Ok (Record.Options.with_selection_mode mode options)
+        | None ->
+          Error (Printf.sprintf "job %d: unknown selection %S" id s)))
   in
   let deadline = Option.bind (Json.member "deadline" j) Json.to_int in
   let* kind =
@@ -78,7 +94,7 @@ let job_of_json id j =
     (Job.make ~id ?label:(str_field "label") ~source ~target ~options_label
        ~options ~inputs ~kind prog)
 
-let jobs_of_json doc =
+let jobs_of_json ?selection doc =
   let entries =
     match doc with
     | Json.List entries -> Ok entries
@@ -92,7 +108,7 @@ let jobs_of_json doc =
       List.fold_left
         (fun (acc : (Job.t list, string) result) (i, entry) ->
           Result.bind acc (fun jobs ->
-              Result.map (fun j -> j :: jobs) (job_of_json i entry)))
+              Result.map (fun j -> j :: jobs) (job_of_json ?selection i entry)))
         (Ok [])
         (List.mapi (fun i e -> (i, e)) entries)
       |> Result.map List.rev)

@@ -4,6 +4,7 @@ type config = {
   kernels : string list;
   domains : int;
   cache : Driver.Cache.t option;
+  selection : Record.Options.selection_mode;
 }
 
 type result = {
@@ -68,6 +69,9 @@ let run config =
               ~id:((p.Sample.index * List.length progs) + ki)
               ~source:(Printf.sprintf "dse sample %d" p.Sample.index)
               ~target:p.Sample.name ~options_label:"record"
+              ~options:
+                (Record.Options.with_selection_mode config.selection
+                   Record.Options.record_)
               ~inputs:k.Dspstone.Kernels.inputs ~kind:Driver.Job.Simulate prog)
           progs)
       points
@@ -146,6 +150,9 @@ let to_json ?(deterministic = true) r =
       ( "kernels",
         Driver.Json.List
           (List.map (fun k -> Driver.Json.String k) r.config.kernels) );
+      ( "selection",
+        Driver.Json.String
+          (Record.Options.selection_mode_name r.config.selection) );
       ("cost_model", Driver.Json.String cost_model_doc);
       ("unique_architectures", Driver.Json.Int r.unique_architectures);
       ("complete_architectures", Driver.Json.Int complete);

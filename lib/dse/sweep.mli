@@ -21,6 +21,9 @@ type config = {
   kernels : string list;  (** DSPStone kernel names; the workload *)
   domains : int;  (** pool width for {!Driver.Batch.run} [~domains] *)
   cache : Driver.Cache.t option;
+  selection : Record.Options.selection_mode;
+      (** selection mode for every compile of the sweep; part of the
+          options digest, so modes never share cache entries *)
 }
 
 type result = {

@@ -214,10 +214,27 @@ type combo = {
   label : string;
 }
 
-let combos_for ~machines ~conventional =
+let combos_for ?(selection = Record.Options.Tree) ~machines ~conventional () =
+  (* The selection mode applies to the RECORD combos only: the
+     conventional baseline models a compiler without the selection
+     subsystem, so it always covers tree by tree.  Non-default modes show
+     up in the label (and in the options digest a counterexample pins). *)
+  let record_label m =
+    m ^ "/record"
+    ^
+    match selection with
+    | Record.Options.Tree -> ""
+    | Record.Options.Dag | Record.Options.Exhaustive ->
+      "+" ^ Record.Options.selection_mode_name selection
+  in
   List.concat_map
     (fun (m : Target.Machine.t) ->
-      { machine = m; options = Record.Options.record_; label = m.name ^ "/record" }
+      {
+        machine = m;
+        options =
+          Record.Options.with_selection_mode selection Record.Options.record_;
+        label = record_label m.name;
+      }
       ::
       (if conventional then
          [
@@ -238,7 +255,7 @@ let bundled () =
     Target.Asip.machine Target.Asip.default;
   ]
 
-let default_combos () = combos_for ~machines:(bundled ()) ~conventional:true
+let default_combos () = combos_for ~machines:(bundled ()) ~conventional:true ()
 
 type counterexample = {
   case : Gen.case;

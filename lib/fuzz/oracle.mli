@@ -79,7 +79,15 @@ val default_combos : unit -> combo list
     and the conventional option sets. *)
 
 val combos_for :
-  machines:Target.Machine.t list -> conventional:bool -> combo list
+  ?selection:Record.Options.selection_mode ->
+  machines:Target.Machine.t list ->
+  conventional:bool ->
+  unit ->
+  combo list
+(** RECORD combos for every machine (under [selection], default [Tree] —
+    non-default modes are reflected in the combo label), plus the
+    conventional baseline (always [Tree]: it models a compiler without
+    the selection subsystem) when [conventional]. *)
 
 type counterexample = {
   case : Gen.case;  (** as generated — reproduce with its seed and index *)

@@ -167,24 +167,10 @@ let fold_digest buf prog =
       int offset;
       int step
   in
-  let rec tree t =
-    match t with
-    | Tree.Const k ->
-      Buffer.add_char buf 'c';
-      int k
-    | Tree.Ref r ->
-      Buffer.add_char buf 'r';
-      mref r
-    | Tree.Unop (op, a) ->
-      Buffer.add_char buf 'u';
-      str (Op.unop_name op);
-      tree a
-    | Tree.Binop (op, a, b) ->
-      Buffer.add_char buf 'b';
-      str (Op.binop_name op);
-      tree a;
-      tree b
-  in
+  (* Statement trees fold with the shared tree encoding, so a subtree's
+     standalone digest ({!Tree.fold_digest}) and its occurrence inside a
+     program digest agree byte for byte. *)
+  let tree t = Tree.fold_digest buf t in
   let rec item it =
     match it with
     | Stmt { dst; src } ->

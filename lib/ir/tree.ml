@@ -45,6 +45,62 @@ let rec to_string = function
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
+(* ---- Structural digest --------------------------------------------------- *)
+
+(* Stable content fingerprint of one tree: every node folded with explicit
+   tags and length-prefixed strings, so two trees fold equal exactly when
+   they are structurally equal.  [Prog.fold_digest] folds statement trees
+   with this same encoding; [Select.Exhaustive] keys its persisted search
+   results on {!digest}, which must therefore stay stable across runs and
+   processes (no [Hashtbl.hash], no pretty-printer output). *)
+let fold_digest buf t =
+  let str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let int k =
+    Buffer.add_string buf (string_of_int k);
+    Buffer.add_char buf ';'
+  in
+  let mref (r : Mref.t) =
+    str r.base;
+    match r.index with
+    | Mref.Direct -> Buffer.add_char buf 'D'
+    | Mref.Elem k ->
+      Buffer.add_char buf 'E';
+      int k
+    | Mref.Induct { ivar; offset; step } ->
+      Buffer.add_char buf 'I';
+      str ivar;
+      int offset;
+      int step
+  in
+  let rec go t =
+    match t with
+    | Const k ->
+      Buffer.add_char buf 'c';
+      int k
+    | Ref r ->
+      Buffer.add_char buf 'r';
+      mref r
+    | Unop (op, a) ->
+      Buffer.add_char buf 'u';
+      str (Op.unop_name op);
+      go a
+    | Binop (op, a, b) ->
+      Buffer.add_char buf 'b';
+      str (Op.binop_name op);
+      go a;
+      go b
+  in
+  go t
+
+let digest t =
+  let buf = Buffer.create 64 in
+  fold_digest buf t;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let const k = Const k
 let ref_ r = Ref r
 let var name = Ref (Mref.scalar name)

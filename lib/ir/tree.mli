@@ -26,6 +26,16 @@ val map_refs : (Mref.t -> Mref.t) -> t -> t
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
+val fold_digest : Buffer.t -> t -> unit
+(** Folds a stable structural fingerprint of the tree into the buffer:
+    tagged nodes, length-prefixed strings, no [Hashtbl.hash] and no
+    pretty-printer output. Two trees fold equal exactly when they are
+    structurally equal. {!Prog.fold_digest} uses this encoding for
+    statement trees; persisted selection results key on it. *)
+
+val digest : t -> string
+(** Hex MD5 of {!fold_digest}. *)
+
 (** Convenience constructors. *)
 
 val const : int -> t

@@ -1,0 +1,219 @@
+(* Bounded exhaustive search over the algebraic closure of small trees.
+
+   The bounded variant enumeration ([Ir.Algebra.hvariants] at the options
+   limit) is a prefix of the full rewrite closure; for small trees the
+   whole closure is affordable, and its minimum-cost members are provably
+   the best covers reachable under the rule set.  This module runs that
+   search for trees within a node/depth budget and memoizes the result at
+   two levels: an in-process table keyed by canonical id, and an optional
+   persistent backend (the driver's content-addressed cache) keyed by the
+   structural tree digest — so the search amortizes across batch jobs, the
+   serve daemon, and DSE sweeps.
+
+   Persistence stores plain winner {e trees} (pure data), never covers:
+   covers close over rule guards and are neither marshalable nor stable.
+   A loaded winner is re-interned and re-costed against the live matcher,
+   so a stale blob (same digest key, changed rule guards) can only cost
+   quality, never correctness — the winner trees are semantically equal to
+   the subject by construction of the rewrite rules, which are part of the
+   key. *)
+
+type budget = { max_nodes : int; max_depth : int }
+
+let budget_of_nodes n = { max_nodes = n; max_depth = n }
+
+type counters = {
+  mutable searched : int;  (* trees that went through the closure search *)
+  mutable wins : int;  (* searches that beat the bounded enumeration *)
+  mutable cache_hits : int;  (* results served by the persistent backend *)
+  mutable cache_stores : int;
+}
+
+let fresh_counters () =
+  { searched = 0; wins = 0; cache_hits = 0; cache_stores = 0 }
+
+(* ---- Persistent backend -------------------------------------------------- *)
+
+type backend = {
+  load : string -> string option;
+  store : string -> string -> unit;
+}
+
+let backend : backend option Atomic.t = Atomic.make None
+
+let set_backend b = Atomic.set backend b
+
+(* Payload: marshalled winner trees behind a version tag. Unreadable or
+   mis-tagged payloads are treated as misses. *)
+let blob_version = "record-exh-1"
+
+let encode (winners : Ir.Tree.t list) =
+  Marshal.to_string (blob_version, winners) []
+
+let decode s =
+  match (Marshal.from_string s 0 : string * Ir.Tree.t list) with
+  | v, winners when v = blob_version -> Some winners
+  | _ -> None
+  | exception _ -> None
+
+(* ---- Keys ---------------------------------------------------------------- *)
+
+let rule_name = function
+  | Ir.Algebra.Commute -> "commute"
+  | Ir.Algebra.Assoc -> "assoc"
+  | Ir.Algebra.Mul_to_shift -> "mul-to-shift"
+  | Ir.Algebra.Fold -> "fold"
+
+(* A stable per-machine salt: name, word width, and the grammar's rule
+   names. Guard bodies are invisible here; a grammar edit that keeps rule
+   names reuses old blobs, which is safe because loaded winners are
+   re-costed (see above). *)
+let machine_salt (m : Target.Machine.t) =
+  let names =
+    List.map
+      (fun (r : Burg.Rule.t) -> r.Burg.Rule.name)
+      m.grammar.Burg.Grammar.rules
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat ","
+          (m.Target.Machine.name
+           :: string_of_int m.Target.Machine.word_bits
+           :: names)))
+
+let blob_key ~salt ~rules ~(budget : budget) (h : Ir.Hashcons.h) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "record-exh-1\n";
+  Buffer.add_string buf salt;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.concat "+" (List.map rule_name rules));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (string_of_int budget.max_nodes);
+  Buffer.add_char buf ':';
+  Buffer.add_string buf (string_of_int budget.max_depth);
+  Buffer.add_char buf '\n';
+  Ir.Tree.fold_digest buf h.Ir.Hashcons.node;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ---- In-process memo ----------------------------------------------------- *)
+
+(* Keyed by (machine salt, canonical id): ids are process-unique, so one
+   table serves every machine and every domain. Bounded so a long-lived
+   serve daemon cannot grow it without limit. *)
+let memo : (string * int, Ir.Hashcons.h list) Hashtbl.t = Hashtbl.create 256
+let memo_lock = Mutex.create ()
+let memo_cap = 65536
+
+let memo_find key =
+  Mutex.lock memo_lock;
+  let r = Hashtbl.find_opt memo key in
+  Mutex.unlock memo_lock;
+  r
+
+let memo_add key v =
+  Mutex.lock memo_lock;
+  if Hashtbl.length memo < memo_cap then Hashtbl.replace memo key v;
+  Mutex.unlock memo_lock
+
+(* ---- The search ---------------------------------------------------------- *)
+
+(* Full-closure safety cap: the closure of a budget-sized tree under the
+   default rules is finite and small, but the cap bounds pathological rule
+   sets. A capped search is still a deeper enumeration than the options
+   limit; it just loses the optimality certificate. *)
+let closure_cap = 20_000
+
+(* At most this many minimum-cost winners are kept (and persisted): the
+   boundary-aware chooser downstream only needs a handful of candidates to
+   rank. *)
+let max_winners = 8
+
+let min_cost matcher hs =
+  List.fold_left
+    (fun acc h ->
+      match Burg.Matcher.best_with_cost matcher h with
+      | None -> acc
+      | Some (_, c) -> (
+        match acc with Some b when b <= c -> acc | _ -> Some c))
+    None hs
+
+let winners_of matcher hs =
+  match min_cost matcher hs with
+  | None -> []
+  | Some best ->
+    let rec take n = function
+      | [] -> []
+      | h :: rest -> (
+        if n = 0 then []
+        else
+          match Burg.Matcher.best_with_cost matcher h with
+          | Some (_, c) when c = best -> h :: take (n - 1) rest
+          | _ -> take n rest)
+    in
+    take max_winners hs
+
+let eligible ~(budget : budget) (h : Ir.Hashcons.h) =
+  h.Ir.Hashcons.size <= budget.max_nodes
+  && Ir.Tree.depth h.Ir.Hashcons.node <= budget.max_depth
+
+(* The minimum-cost variants of [h] under the full closure, or [regular]
+   (the bounded enumeration, which the caller already computed) when the
+   tree is out of budget or nothing in the closure is coverable. [wins]
+   counts searches whose best cover beats the bounded enumeration's. *)
+let search ~matcher ~rules ~budget ~salt ~(counters : counters) ~regular
+    (h : Ir.Hashcons.h) =
+  if not (eligible ~budget h) then regular
+  else begin
+    counters.searched <- counters.searched + 1;
+    let score_win winners =
+      match (min_cost matcher winners, min_cost matcher regular) with
+      | Some w, Some r when w < r -> counters.wins <- counters.wins + 1
+      | Some _, None -> counters.wins <- counters.wins + 1
+      | _ -> ()
+    in
+    (* Winners are returned in front of the bounded enumeration: the
+       caller ranks by cover cost, so a stale persisted winner that lost
+       its edge can never make the result worse than [regular]. *)
+    let deliver winners =
+      if winners = [] then regular
+      else begin
+        score_win winners;
+        winners @ regular
+      end
+    in
+    let memo_key = (salt, h.Ir.Hashcons.id) in
+    match memo_find memo_key with
+    | Some winners -> deliver winners
+    | None ->
+      let key = blob_key ~salt ~rules ~budget h in
+      let loaded =
+        match Atomic.get backend with
+        | None -> None
+        | Some b -> (
+          match b.load key with
+          | None -> None
+          | Some payload -> (
+            match decode payload with
+            | None | Some [] -> None
+            | Some trees ->
+              counters.cache_hits <- counters.cache_hits + 1;
+              Some (List.map Ir.Hashcons.intern trees)))
+      in
+      let winners =
+        match loaded with
+        | Some ws -> winners_of matcher ws
+        | None ->
+          let closure =
+            Ir.Algebra.hvariants ~rules ~limit:closure_cap h
+          in
+          let ws = winners_of matcher closure in
+          (match (ws, Atomic.get backend) with
+          | _ :: _, Some b ->
+            b.store key (encode (List.map Ir.Hashcons.node ws));
+            counters.cache_stores <- counters.cache_stores + 1
+          | _ -> ());
+          ws
+      in
+      memo_add memo_key winners;
+      deliver winners
+  end

@@ -1,0 +1,62 @@
+(** Bounded exhaustive search over the algebraic closure of small trees.
+
+    The bounded variant enumeration is a prefix of the full rewrite
+    closure; for trees within a node/depth budget this module enumerates
+    the whole closure and keeps its minimum-cost members — provably the
+    best covers reachable under the rule set (up to a safety cap). The
+    result is memoized in-process by canonical id and, when a backend is
+    installed, persisted under a structural key so the search amortizes
+    across batch jobs, the serve daemon, and DSE sweeps.
+
+    Persisted payloads are winner {e trees} (pure data, never covers —
+    covers close over rule guards). Loaded winners are re-interned and
+    re-costed against the live matcher, so staleness can only cost
+    quality, never correctness. *)
+
+type budget = { max_nodes : int; max_depth : int }
+
+val budget_of_nodes : int -> budget
+(** Depth capped at the node count — the single-knob budget
+    [Options.exhaustive_budget] maps to. *)
+
+type counters = {
+  mutable searched : int;  (** tree instances that went through the search *)
+  mutable wins : int;
+      (** searches whose best cover beats the bounded enumeration's *)
+  mutable cache_hits : int;  (** results served by the persistent backend *)
+  mutable cache_stores : int;
+}
+
+val fresh_counters : unit -> counters
+
+type backend = {
+  load : string -> string option;
+  store : string -> string -> unit;
+}
+(** Content-addressed blob store, keyed by hex digest. The driver installs
+    one backed by [Driver.Cache]; both functions must be domain-safe. *)
+
+val set_backend : backend option -> unit
+(** Process-wide; idempotent, safe to call per compilation. *)
+
+val machine_salt : Target.Machine.t -> string
+(** Stable per-machine component of the persistence key: name, word
+    width, grammar rule names. *)
+
+val eligible : budget:budget -> Ir.Hashcons.h -> bool
+
+val search :
+  matcher:Burg.Matcher.t ->
+  rules:Ir.Algebra.rule list ->
+  budget:budget ->
+  salt:string ->
+  counters:counters ->
+  regular:Ir.Hashcons.h list ->
+  Ir.Hashcons.h ->
+  Ir.Hashcons.h list
+(** Candidate variants of the tree for the selector to rank: the
+    closure's minimum-cost winners in front of [regular] (the bounded
+    enumeration the caller already computed), or [regular] alone when the
+    tree is out of budget or nothing is coverable. Because [regular] is
+    always contained in the result, the outcome is never worse than the
+    bounded enumeration. *)

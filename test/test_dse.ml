@@ -157,6 +157,7 @@ let sweep_config cache =
     kernels = [ "fir"; "dot_product" ];
     domains = 1;
     cache;
+    selection = Record.Options.Tree;
   }
 
 let test_sweep_deterministic_json () =

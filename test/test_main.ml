@@ -5,8 +5,8 @@ let () =
     @ Test_opt.suites @ Test_target.suites @ Test_target_props.suites
     @ Test_rtl_ise.suites
     @ Test_mdl.suites @ Test_selftest.suites @ Test_dspstone.suites @ Test_timing.suites
-    @ Test_pipeline.suites @ Test_sim.suites @ Test_fuzz.suites
-    @ Test_driver.suites
+    @ Test_pipeline.suites @ Test_select.suites @ Test_sim.suites
+    @ Test_fuzz.suites @ Test_driver.suites
     (* Test_sim_diff and Test_domains spawn domains, which makes Unix.fork
        unavailable for the rest of the process — they must come after the
        fork-based Driver.Batch tests. *)
