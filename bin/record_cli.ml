@@ -101,6 +101,33 @@ let selection_override_arg =
     & info [ "selection" ] ~docv:"MODE"
         ~doc:(selection_doc ^ "; overrides every job's own selection member"))
 
+(* --matcher on compile/fuzz/batch/serve/dse: the labelling engine of
+   Options.matcher.  Both engines produce byte-identical covers, so this
+   is a pure performance/fallback knob — but it is part of the options
+   digest, so cache entries never cross engines. *)
+let matcher_enum =
+  Arg.enum [ ("table", Burg.Matcher.Table); ("dp", Burg.Matcher.Dp) ]
+
+let matcher_doc =
+  "Labelling engine: $(b,table) (default) labels each node with one \
+   precomputed BURS automaton transition, $(b,dp) runs the on-demand \
+   dynamic-programming labeller; covers are byte-identical either way"
+
+let matcher_arg =
+  Arg.(
+    value
+    & opt matcher_enum Burg.Matcher.Table
+    & info [ "matcher" ] ~docv:"ENGINE" ~doc:matcher_doc)
+
+(* batch/serve: an override — absent means each job's own "matcher" member
+   (default table) stands. *)
+let matcher_override_arg =
+  Arg.(
+    value
+    & opt (some matcher_enum) None
+    & info [ "matcher" ] ~docv:"ENGINE"
+        ~doc:(matcher_doc ^ "; overrides every job's own matcher member"))
+
 (* Cache selection shared by [compile --json] and [batch]: an explicit
    --cache-dir wins, --no-cache disables the disk tier entirely, and the
    default is the persistent user cache. *)
@@ -114,14 +141,15 @@ let cache_of ~no_cache ~cache_dir =
     in
     Some (Driver.Cache.create ~dir ())
 
-let compile_cmd file target target_file conventional selection check inputs
-    json no_cache cache_dir =
+let compile_cmd file target target_file conventional selection matcher check
+    inputs json no_cache cache_dir =
   let machine = machine_of target target_file in
   let options_label = if conventional then "conventional" else "record" in
   let options =
     if conventional then Record.Options.conventional else Record.Options.record_
   in
   let options = Record.Options.with_selection_mode selection options in
+  let options = Record.Options.with_matcher matcher options in
   let prog =
     try Dfl.Lower.source (read_file file) with
     | Dfl.Lexer.Error msg | Dfl.Parser.Error msg | Dfl.Lower.Error msg ->
@@ -183,6 +211,8 @@ let compile_cmd file target target_file conventional selection check inputs
            ( "selection_mode",
              Driver.Json.String
                (Record.Options.selection_mode_name selection) );
+           ( "matcher",
+             Driver.Json.String (Burg.Matcher.engine_name matcher) );
            ( "options_digest",
              Driver.Json.String (Record.Options.digest options) );
            ("key", Driver.Json.String outcome.Driver.Service.key);
@@ -281,8 +311,8 @@ let compile_t =
     (Cmd.info "compile" ~doc:"Compile a DFL program")
     Term.(
       const compile_cmd $ file_arg $ target_arg $ target_file_arg
-      $ conventional_arg $ selection_arg $ check_arg $ inputs_arg $ json_arg
-      $ no_cache_arg $ cache_dir_arg)
+      $ conventional_arg $ selection_arg $ matcher_arg $ check_arg
+      $ inputs_arg $ json_arg $ no_cache_arg $ cache_dir_arg)
 
 (* ---- targets --------------------------------------------------------------- *)
 
@@ -465,15 +495,15 @@ let timing_t =
 
 (* ---- fuzz -------------------------------------------------------------------- *)
 
-let fuzz_cmd seed count max_size targets record_only selection no_shrink
-    sim_name =
+let fuzz_cmd seed count max_size targets record_only selection matcher
+    no_shrink sim_name =
   let selected =
     match targets with
     | [] -> Driver.Registry.machines ()
     | names -> List.map (fun n -> or_die (find_machine n)) names
   in
   let combos =
-    Fuzz.Oracle.combos_for ~selection ~machines:selected
+    Fuzz.Oracle.combos_for ~selection ~matcher ~machines:selected
       ~conventional:(not record_only) ()
   in
   let sim =
@@ -496,17 +526,22 @@ let fuzz_cmd seed count max_size targets record_only selection no_shrink
            option set was RECORD's (a conventional-baseline failure needs
            both option sets, which is the default). *)
         Format.printf
-          "reproduce: record fuzz --seed %d --count %d --max-size %d --target %s%s%s --sim=%s  # failing case %d on %s, options %s@."
+          "reproduce: record fuzz --seed %d --count %d --max-size %d --target %s%s%s%s --sim=%s  # failing case %d on %s, options %s@."
           c.Fuzz.Oracle.case.Fuzz.Gen.seed
           (c.Fuzz.Oracle.case.Fuzz.Gen.index + 1)
           max_size c.Fuzz.Oracle.target
           (if c.Fuzz.Oracle.record_options then " --record-only" else "")
-          (* The active selection mode is part of the failing configuration;
-             the default stays implicit so pre-existing lines still apply. *)
+          (* The active selection mode and labelling engine are part of the
+             failing configuration; the defaults stay implicit so
+             pre-existing lines still apply. *)
           (match selection with
           | Record.Options.Tree -> ""
           | Record.Options.Dag | Record.Options.Exhaustive ->
             " --selection=" ^ Record.Options.selection_mode_name selection)
+          (match matcher with
+          | Burg.Matcher.Table -> ""
+          | Burg.Matcher.Dp ->
+            " --matcher=" ^ Burg.Matcher.engine_name matcher)
           sim_name c.Fuzz.Oracle.case.Fuzz.Gen.index c.Fuzz.Oracle.combo
           c.Fuzz.Oracle.options_digest)
       report.Fuzz.Oracle.counterexamples;
@@ -561,7 +596,8 @@ let fuzz_t =
              counterexample)")
     Term.(
       const fuzz_cmd $ seed_arg $ count_arg $ max_size_arg $ fuzz_targets_arg
-      $ record_only_arg $ selection_arg $ no_shrink_arg $ sim_arg)
+      $ record_only_arg $ selection_arg $ matcher_arg $ no_shrink_arg
+      $ sim_arg)
 
 (* ---- batch ------------------------------------------------------------------- *)
 
@@ -585,15 +621,15 @@ let pp_batch_status ppf (r : Driver.Job.result) =
   | Driver.Job.Timed_out s -> Format.fprintf ppf "TIMEOUT after %.1f s" s
   | Driver.Job.Crashed msg -> Format.fprintf ppf "CRASHED %s" msg
 
-let batch_cmd jobs_file jobs_n domains timeout selection no_cache cache_dir
-    out json compact deterministic require_hit_rate =
+let batch_cmd jobs_file jobs_n domains timeout selection matcher no_cache
+    cache_dir out json compact deterministic require_hit_rate =
   let doc =
     match Driver.Json.of_string (read_file jobs_file) with
     | Ok doc -> doc
     | Error msg -> or_die (Error (jobs_file ^ ": " ^ msg))
     | exception Sys_error msg -> or_die (Error msg)
   in
-  let jobs = or_die (Driver.Protocol.jobs_of_json ?selection doc) in
+  let jobs = or_die (Driver.Protocol.jobs_of_json ?selection ?matcher doc) in
   if domains <> None && timeout <> None then
     or_die
       (Error
@@ -719,20 +755,20 @@ let batch_t =
              cache (exit 1 on any failed job)")
     Term.(
       const batch_cmd $ jobs_file_arg $ jobs_n_arg $ domains_arg
-      $ timeout_arg $ selection_override_arg $ no_cache_arg $ cache_dir_arg
-      $ out_arg $ batch_json_arg $ compact_arg $ deterministic_arg
-      $ require_hit_rate_arg)
+      $ timeout_arg $ selection_override_arg $ matcher_override_arg
+      $ no_cache_arg $ cache_dir_arg $ out_arg $ batch_json_arg
+      $ compact_arg $ deterministic_arg $ require_hit_rate_arg)
 
 (* ---- serve ------------------------------------------------------------------- *)
 
-let serve_cmd domains socket deterministic no_cache cache_dir =
+let serve_cmd domains socket deterministic matcher no_cache cache_dir =
   let domains =
     match domains with
     | Some d -> max 1 d
     | None -> Driver.Pool.default_domains ()
   in
   let cache = cache_of ~no_cache ~cache_dir in
-  let config = { Driver.Serve.domains; deterministic; cache } in
+  let config = { Driver.Serve.domains; deterministic; cache; matcher } in
   match socket with
   | None -> Driver.Serve.run_stdio config
   | Some path -> Driver.Serve.run_socket config ~path
@@ -764,12 +800,13 @@ let serve_t =
              table, warm matchers, and one cache across all requests")
     Term.(
       const serve_cmd $ serve_domains_arg $ socket_arg
-      $ serve_deterministic_arg $ no_cache_arg $ cache_dir_arg)
+      $ serve_deterministic_arg $ matcher_override_arg $ no_cache_arg
+      $ cache_dir_arg)
 
 (* ---- dse --------------------------------------------------------------------- *)
 
-let dse_cmd seed samples domains kernels selection out no_cache cache_dir
-    json require_hit_rate =
+let dse_cmd seed samples domains kernels selection matcher out no_cache
+    cache_dir json require_hit_rate =
   if samples < 1 then or_die (Error "--samples must be at least 1");
   let kernels =
     List.concat_map (String.split_on_char ',') kernels
@@ -785,7 +822,7 @@ let dse_cmd seed samples domains kernels selection out no_cache cache_dir
   in
   let cache = cache_of ~no_cache ~cache_dir in
   let config =
-    { Dse.Sweep.seed; samples; kernels; domains; cache; selection }
+    { Dse.Sweep.seed; samples; kernels; domains; cache; selection; matcher }
   in
   let result =
     match Dse.Sweep.run config with
@@ -855,8 +892,8 @@ let dse_t =
              the front is empty)")
     Term.(
       const dse_cmd $ dse_seed_arg $ dse_samples_arg $ domains_arg
-      $ dse_kernels_arg $ selection_arg $ dse_out_arg $ no_cache_arg
-      $ cache_dir_arg $ dse_json_arg $ require_hit_rate_arg)
+      $ dse_kernels_arg $ selection_arg $ matcher_arg $ dse_out_arg
+      $ no_cache_arg $ cache_dir_arg $ dse_json_arg $ require_hit_rate_arg)
 
 (* ---- table1 ------------------------------------------------------------------ *)
 

@@ -1,268 +1,374 @@
-type entry = { cost : int; cover : Cover.t }
+(* Two interchangeable labelling engines behind one matcher API:
 
-(* Best derivation per nonterminal at one tree node. *)
-type labelling = (string, entry) Hashtbl.t
+   - [Dp]: the original bottom-up dynamic programming labeller — a
+     lock-striped, id-keyed memo of per-node labellings computed on
+     demand (kept as the reference/fallback engine).
+   - [Table]: the BURS automaton ({!Burs}) — states and transitions are
+     built offline at [create]; labelling is one bottom-up pass writing
+     a packed state slot per hash-cons id into a lock-free flat array.
+
+   Both engines produce byte-identical covers (same costs, same
+   tie-breaks, same chain closure); the test suite asserts it and CI
+   diffs whole compiled suites across engines. *)
+
+type engine = Dp | Table
+
+let engine_name = function Dp -> "dp" | Table -> "table"
+
+let engine_of_string = function
+  | "dp" -> Ok Dp
+  | "table" -> Ok Table
+  | s -> Error (Printf.sprintf "unknown matcher engine %S (dp|table)" s)
 
 type counters = { nodes_labelled : int; memo_hits : int }
 
-(* Root shape of a subject node: only base rules whose pattern root has the
-   same shape can match, so [compute] walks one bucket instead of the whole
-   rule list.  Nonterm-rooted patterns are chain rules and live elsewhere;
-   Const_any and Const_eq share the const bucket. *)
-type shape = S_const | S_ref | S_unop of Ir.Op.unop | S_binop of Ir.Op.binop
+module Dp_engine = struct
+  type entry = { cost : int; cover : Cover.t }
 
-let shape_of_pattern = function
-  | Pattern.Const_any | Pattern.Const_eq _ -> Some S_const
-  | Pattern.Ref_any -> Some S_ref
-  | Pattern.Unop (op, _) -> Some (S_unop op)
-  | Pattern.Binop (op, _, _) -> Some (S_binop op)
-  | Pattern.Nonterm _ -> None
+  (* Best derivation per nonterminal at one tree node. *)
+  type labelling = (string, entry) Hashtbl.t
 
-let shape_of_node = function
-  | Ir.Tree.Const _ -> S_const
-  | Ir.Tree.Ref _ -> S_ref
-  | Ir.Tree.Unop (op, _) -> S_unop op
-  | Ir.Tree.Binop (op, _, _) -> S_binop op
+  (* Root shape of a subject node: only base rules whose pattern root has the
+     same shape can match, so [compute] walks one bucket instead of the whole
+     rule list.  Nonterm-rooted patterns are chain rules and live elsewhere;
+     Const_any and Const_eq share the const bucket. *)
+  type shape = S_const | S_ref | S_unop of Ir.Op.unop | S_binop of Ir.Op.binop
 
-(* One stripe of the DP table.  A labelling is built privately by the
-   computing domain and only then published into the stripe under its
-   lock; after publication it is read-only, so readers (who also take the
-   stripe lock for the probe itself) can use it without further
-   synchronization.  The per-stripe counters ride under the same lock. *)
-type stripe = {
-  lock : Mutex.t;
-  table : (int, labelling) Hashtbl.t;
-  mutable nodes_labelled : int;
-  mutable memo_hits : int;
-}
+  let shape_of_pattern = function
+    | Pattern.Const_any | Pattern.Const_eq _ -> Some S_const
+    | Pattern.Ref_any -> Some S_ref
+    | Pattern.Unop (op, _) -> Some (S_unop op)
+    | Pattern.Binop (op, _, _) -> Some (S_binop op)
+    | Pattern.Nonterm _ -> None
 
-let stripe_count = 16
+  let shape_of_node = function
+    | Ir.Tree.Const _ -> S_const
+    | Ir.Tree.Ref _ -> S_ref
+    | Ir.Tree.Unop (op, _) -> S_unop op
+    | Ir.Tree.Binop (op, _, _) -> S_binop op
 
-type t = {
-  grammar : Grammar.t;
-  (* Non-chain rules bucketed by root shape, original order within each
-     bucket (ties in [improve] keep the earlier rule, as with a flat
-     list).  Built once in [create], never mutated after — concurrent
-     reads from many domains are safe. *)
-  base_by_shape : (shape, Rule.t list) Hashtbl.t;
-  chain_rules : Rule.t list;
-  (* The DP table, keyed by hash-cons id: one entry per distinct subtree
-     structure ever labelled, shared across variants, trees, whole
-     compilation jobs, and — lock-striped — across the serve pool's
-     domains.  An id key is O(1) to hash and compare where the previous
-     structural Tree.t key cost O(size) per probe. *)
-  stripes : stripe array;
-}
-
-let create grammar =
-  let base_rules, chain_rules =
-    List.partition (fun r -> not (Rule.is_chain r)) grammar.Grammar.rules
-  in
-  let base_by_shape = Hashtbl.create 16 in
-  List.iter
-    (fun (r : Rule.t) ->
-      match shape_of_pattern r.pattern with
-      | None -> ()
-      | Some s ->
-        Hashtbl.replace base_by_shape s
-          (r :: (try Hashtbl.find base_by_shape s with Not_found -> [])))
-    (List.rev base_rules);
-  {
-    grammar;
-    base_by_shape;
-    chain_rules;
-    stripes =
-      Array.init stripe_count (fun _ ->
-          {
-            lock = Mutex.create ();
-            table = Hashtbl.create 64;
-            nodes_labelled = 0;
-            memo_hits = 0;
-          });
+  (* One stripe of the DP table.  A labelling is built privately by the
+     computing domain and only then published into the stripe under its
+     lock; after publication it is read-only, so readers (who also take the
+     stripe lock for the probe itself) can use it without further
+     synchronization.  The per-stripe counters ride under the same lock. *)
+  type stripe = {
+    lock : Mutex.t;
+    table : (int, labelling) Hashtbl.t;
+    mutable nodes_labelled : int;
+    mutable memo_hits : int;
   }
 
-let grammar m = m.grammar
+  let stripe_count = 16
 
-let stripe_of m key = m.stripes.(key land (stripe_count - 1))
+  type t = {
+    grammar : Grammar.t;
+    (* Non-chain rules bucketed by root shape, original order within each
+       bucket (ties in [improve] keep the earlier rule, as with a flat
+       list).  Built once in [create], never mutated after — concurrent
+       reads from many domains are safe. *)
+    base_by_shape : (shape, Rule.t list) Hashtbl.t;
+    chain_rules : Rule.t list;
+    (* The DP table, keyed by hash-cons id: one entry per distinct subtree
+       structure ever labelled, shared across variants, trees, whole
+       compilation jobs, and — lock-striped — across the serve pool's
+       domains.  An id key is O(1) to hash and compare where the previous
+       structural Tree.t key cost O(size) per probe. *)
+    stripes : stripe array;
+  }
 
-let counters m =
-  Array.fold_left
-    (fun (acc : counters) (s : stripe) ->
-      Mutex.lock s.lock;
-      let r =
-        {
-          nodes_labelled = acc.nodes_labelled + s.nodes_labelled;
-          memo_hits = acc.memo_hits + s.memo_hits;
-        }
-      in
-      Mutex.unlock s.lock;
-      r)
-    { nodes_labelled = 0; memo_hits = 0 }
-    m.stripes
-
-(* Match a pattern against a subject handle — shapes via the canonical
-   node, descent via the child handles, so no tree is ever rebuilt or
-   hashed. Returns the handles bound to the pattern's nonterminal leaves,
-   in left-to-right order, or None. *)
-let rec match_pattern p (h : Ir.Hashcons.h) =
-  match (p, h.Ir.Hashcons.node) with
-  | Pattern.Nonterm nt, _ -> Some [ (nt, h) ]
-  | Pattern.Const_any, Ir.Tree.Const _ -> Some []
-  | Pattern.Const_eq k, Ir.Tree.Const k' -> if k = k' then Some [] else None
-  | Pattern.Ref_any, Ir.Tree.Ref _ -> Some []
-  | Pattern.Unop (op, pa), Ir.Tree.Unop (op', _) when op = op' ->
-    match_pattern pa h.Ir.Hashcons.kids.(0)
-  | Pattern.Binop (op, pa, pb), Ir.Tree.Binop (op', _, _) when op = op' -> (
-    match match_pattern pa h.Ir.Hashcons.kids.(0) with
-    | None -> None
-    | Some la -> (
-      match match_pattern pb h.Ir.Hashcons.kids.(1) with
-      | None -> None
-      | Some lb -> Some (la @ lb)))
-  | ( ( Pattern.Const_any | Pattern.Const_eq _ | Pattern.Ref_any
-      | Pattern.Unop _ | Pattern.Binop _ ),
-      (Ir.Tree.Const _ | Ir.Tree.Ref _ | Ir.Tree.Unop _ | Ir.Tree.Binop _) )
-    ->
-    None
-
-let improve (lab : labelling) nt entry =
-  match Hashtbl.find_opt lab nt with
-  | Some old when old.cost <= entry.cost -> false
-  | Some _ | None ->
-    Hashtbl.replace lab nt entry;
-    true
-
-(* The probe holds the stripe lock for the lookup only; [compute] recurses
-   into child stripes with no lock held, so there is no lock-ordering
-   issue.  Two domains racing on one node both compute it (labellings are
-   deterministic, so either result is the same); the loser's copy is
-   discarded in favour of the published one, keeping one table entry per
-   node. *)
-let rec labelling m (h : Ir.Hashcons.h) : labelling =
-  let key = h.Ir.Hashcons.id in
-  let s = stripe_of m key in
-  Mutex.lock s.lock;
-  match Hashtbl.find_opt s.table key with
-  | Some lab ->
-    s.memo_hits <- s.memo_hits + 1;
-    Mutex.unlock s.lock;
-    lab
-  | None ->
-    Mutex.unlock s.lock;
-    let lab = compute m h in
-    Mutex.lock s.lock;
-    let published =
-      match Hashtbl.find_opt s.table key with
-      | Some winner -> winner
-      | None ->
-        s.nodes_labelled <- s.nodes_labelled + 1;
-        Hashtbl.replace s.table key lab;
-        lab
+  let create grammar =
+    let base_rules, chain_rules =
+      List.partition (fun r -> not (Rule.is_chain r)) grammar.Grammar.rules
     in
-    Mutex.unlock s.lock;
-    published
-
-and compute m (h : Ir.Hashcons.h) =
-  let t = h.Ir.Hashcons.node in
-  let lab : labelling = Hashtbl.create 8 in
-  let try_base (r : Rule.t) =
-    match match_pattern r.pattern h with
-    | None -> ()
-    | Some bindings ->
-      let guard_ok =
-        match r.guard with None -> true | Some g -> g t
-      in
-      if guard_ok then begin
-        (* Sum the best costs of each bound subtree for its nonterminal. *)
-        let rec collect acc covers = function
-          | [] -> Some (acc, List.rev covers)
-          | (nt, sub) :: rest -> (
-            let sub_lab = labelling m sub in
-            match Hashtbl.find_opt sub_lab nt with
-            | None -> None
-            | Some e -> collect (acc + e.cost) (e.cover :: covers) rest)
-        in
-        match collect (Rule.cost_at r t) [] bindings with
-        | None -> ()
-        | Some (cost, children) ->
-          ignore
-            (improve lab r.lhs { cost; cover = { Cover.rule = r; node = t; children } })
-      end
-  in
-  (match Hashtbl.find_opt m.base_by_shape (shape_of_node t) with
-  | Some rules -> List.iter try_base rules
-  | None -> ());
-  (* Chain-rule closure: relax until fixpoint. *)
-  let changed = ref true in
-  while !changed do
-    changed := false;
+    let base_by_shape = Hashtbl.create 16 in
     List.iter
       (fun (r : Rule.t) ->
-        match r.pattern with
-        | Pattern.Nonterm src -> (
-          match Hashtbl.find_opt lab src with
+        match shape_of_pattern r.pattern with
+        | None -> ()
+        | Some s ->
+          Hashtbl.replace base_by_shape s
+            (r :: (try Hashtbl.find base_by_shape s with Not_found -> [])))
+      (List.rev base_rules);
+    {
+      grammar;
+      base_by_shape;
+      chain_rules;
+      stripes =
+        Array.init stripe_count (fun _ ->
+            {
+              lock = Mutex.create ();
+              table = Hashtbl.create 64;
+              nodes_labelled = 0;
+              memo_hits = 0;
+            });
+    }
+
+  let stripe_of m key = m.stripes.(key land (stripe_count - 1))
+
+  let counters m =
+    Array.fold_left
+      (fun (acc : counters) (s : stripe) ->
+        Mutex.lock s.lock;
+        let r =
+          {
+            nodes_labelled = acc.nodes_labelled + s.nodes_labelled;
+            memo_hits = acc.memo_hits + s.memo_hits;
+          }
+        in
+        Mutex.unlock s.lock;
+        r)
+      { nodes_labelled = 0; memo_hits = 0 }
+      m.stripes
+
+  (* Match a pattern against a subject handle — shapes via the canonical
+     node, descent via the child handles, so no tree is ever rebuilt or
+     hashed. Returns the handles bound to the pattern's nonterminal leaves,
+     in left-to-right order, or None. *)
+  let rec match_pattern p (h : Ir.Hashcons.h) =
+    match (p, h.Ir.Hashcons.node) with
+    | Pattern.Nonterm nt, _ -> Some [ (nt, h) ]
+    | Pattern.Const_any, Ir.Tree.Const _ -> Some []
+    | Pattern.Const_eq k, Ir.Tree.Const k' -> if k = k' then Some [] else None
+    | Pattern.Ref_any, Ir.Tree.Ref _ -> Some []
+    | Pattern.Unop (op, pa), Ir.Tree.Unop (op', _) when op = op' ->
+      match_pattern pa h.Ir.Hashcons.kids.(0)
+    | Pattern.Binop (op, pa, pb), Ir.Tree.Binop (op', _, _) when op = op' -> (
+      match match_pattern pa h.Ir.Hashcons.kids.(0) with
+      | None -> None
+      | Some la -> (
+        match match_pattern pb h.Ir.Hashcons.kids.(1) with
+        | None -> None
+        | Some lb -> Some (la @ lb)))
+    | ( ( Pattern.Const_any | Pattern.Const_eq _ | Pattern.Ref_any
+        | Pattern.Unop _ | Pattern.Binop _ ),
+        (Ir.Tree.Const _ | Ir.Tree.Ref _ | Ir.Tree.Unop _ | Ir.Tree.Binop _) )
+      ->
+      None
+
+  let improve (lab : labelling) nt entry =
+    match Hashtbl.find_opt lab nt with
+    | Some old when old.cost <= entry.cost -> false
+    | Some _ | None ->
+      Hashtbl.replace lab nt entry;
+      true
+
+  (* The probe holds the stripe lock for the lookup only; [compute] recurses
+     into child stripes with no lock held, so there is no lock-ordering
+     issue.  Two domains racing on one node both compute it (labellings are
+     deterministic, so either result is the same); the loser's copy is
+     discarded in favour of the published one, keeping one table entry per
+     node. *)
+  let rec labelling m (h : Ir.Hashcons.h) : labelling =
+    let key = h.Ir.Hashcons.id in
+    let s = stripe_of m key in
+    Mutex.lock s.lock;
+    match Hashtbl.find_opt s.table key with
+    | Some lab ->
+      s.memo_hits <- s.memo_hits + 1;
+      Mutex.unlock s.lock;
+      lab
+    | None ->
+      Mutex.unlock s.lock;
+      let lab = compute m h in
+      Mutex.lock s.lock;
+      let published =
+        match Hashtbl.find_opt s.table key with
+        | Some winner -> winner
+        | None ->
+          s.nodes_labelled <- s.nodes_labelled + 1;
+          Hashtbl.replace s.table key lab;
+          lab
+      in
+      Mutex.unlock s.lock;
+      published
+
+  and compute m (h : Ir.Hashcons.h) =
+    let t = h.Ir.Hashcons.node in
+    let lab : labelling = Hashtbl.create 8 in
+    let try_base (r : Rule.t) =
+      match match_pattern r.pattern h with
+      | None -> ()
+      | Some bindings ->
+        let guard_ok = match r.guard with None -> true | Some g -> g t in
+        if guard_ok then begin
+          (* Sum the best costs of each bound subtree for its nonterminal. *)
+          let rec collect acc covers = function
+            | [] -> Some (acc, List.rev covers)
+            | (nt, sub) :: rest -> (
+              let sub_lab = labelling m sub in
+              match Hashtbl.find_opt sub_lab nt with
+              | None -> None
+              | Some e -> collect (acc + e.cost) (e.cover :: covers) rest)
+          in
+          match collect (Rule.cost_at r t) [] bindings with
           | None -> ()
-          | Some e ->
-            let guard_ok =
-              match r.guard with None -> true | Some g -> g t
-            in
-            if guard_ok then begin
-              let entry =
-                {
-                  cost = e.cost + Rule.cost_at r t;
-                  cover = { Cover.rule = r; node = t; children = [ e.cover ] };
-                }
+          | Some (cost, children) ->
+            ignore
+              (improve lab r.lhs
+                 { cost; cover = { Cover.rule = r; node = t; children } })
+        end
+    in
+    (match Hashtbl.find_opt m.base_by_shape (shape_of_node t) with
+    | Some rules -> List.iter try_base rules
+    | None -> ());
+    (* Chain-rule closure: relax until fixpoint. *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (r : Rule.t) ->
+          match r.pattern with
+          | Pattern.Nonterm src -> (
+            match Hashtbl.find_opt lab src with
+            | None -> ()
+            | Some e ->
+              let guard_ok =
+                match r.guard with None -> true | Some g -> g t
               in
-              if improve lab r.lhs entry then changed := true
-            end)
-        | Pattern.Const_any | Pattern.Const_eq _ | Pattern.Ref_any
-        | Pattern.Unop _ | Pattern.Binop _ ->
-          ())
-      m.chain_rules
-  done;
-  lab
+              if guard_ok then begin
+                let entry =
+                  {
+                    cost = e.cost + Rule.cost_at r t;
+                    cover = { Cover.rule = r; node = t; children = [ e.cover ] };
+                  }
+                in
+                if improve lab r.lhs entry then changed := true
+              end)
+          | Pattern.Const_any | Pattern.Const_eq _ | Pattern.Ref_any
+          | Pattern.Unop _ | Pattern.Binop _ ->
+            ())
+        m.chain_rules
+    done;
+    lab
+
+  let label m t =
+    let lab = labelling m (Ir.Hashcons.intern t) in
+    Hashtbl.fold (fun nt e acc -> (nt, e.cost) :: acc) lab []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let best_entry ?nt m h =
+    let nt = Option.value ~default:m.grammar.Grammar.start nt in
+    Hashtbl.find_opt (labelling m h) nt
+
+  let best_h ?nt m h = Option.map (fun e -> e.cover) (best_entry ?nt m h)
+
+  let best_with_cost ?nt m h =
+    Option.map (fun e -> (e.cover, e.cost)) (best_entry ?nt m h)
+
+  let best_of_hvariants ?nt m hvariants =
+    (* Costs come from the DP entries — no [Cover.cost] walk per variant. *)
+    let consider acc h =
+      match best_entry ?nt m h with
+      | None -> acc
+      | Some e -> (
+        match acc with
+        | Some (_, best) when best.cost <= e.cost -> acc
+        | Some _ | None -> Some (h, e))
+    in
+    match List.fold_left consider None hvariants with
+    | None -> None
+    | Some (h, e) -> Some (h, e.cover)
+
+  let clear m =
+    Array.iter
+      (fun (s : stripe) ->
+        Mutex.lock s.lock;
+        Hashtbl.reset s.table;
+        Mutex.unlock s.lock)
+      m.stripes
+end
+
+type t = { eng : engine; dp : Dp_engine.t option; table : Burs.t option }
+
+let create ?(engine = Table) grammar =
+  match engine with
+  | Dp -> { eng = Dp; dp = Some (Dp_engine.create grammar); table = None }
+  | Table -> { eng = Table; dp = None; table = Some (Burs.create grammar) }
+
+let engine m = m.eng
+let dp m = Option.get m.dp
+let table m = Option.get m.table
+
+let grammar m =
+  match m.eng with
+  | Dp -> (dp m).Dp_engine.grammar
+  | Table -> Burs.grammar (table m)
+
+let counters m =
+  match m.eng with
+  | Dp -> Dp_engine.counters (dp m)
+  | Table ->
+    let a = table m in
+    { nodes_labelled = Burs.nodes_labelled a; memo_hits = Burs.memo_hits a }
 
 let label m t =
-  let lab = labelling m (Ir.Hashcons.intern t) in
-  Hashtbl.fold (fun nt e acc -> (nt, e.cost) :: acc) lab []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  match m.eng with
+  | Dp -> Dp_engine.label (dp m) t
+  | Table -> Burs.label (table m) (Ir.Hashcons.intern t)
 
-let best_entry ?nt m h =
-  let nt = Option.value ~default:m.grammar.Grammar.start nt in
-  Hashtbl.find_opt (labelling m h) nt
-
-let best_h ?nt m h = Option.map (fun e -> e.cover) (best_entry ?nt m h)
+let best_h ?nt m h =
+  match m.eng with
+  | Dp -> Dp_engine.best_h ?nt (dp m) h
+  | Table -> Burs.best_cover ?nt (table m) h
 
 let best_with_cost ?nt m h =
-  Option.map (fun e -> (e.cover, e.cost)) (best_entry ?nt m h)
+  match m.eng with
+  | Dp -> Dp_engine.best_with_cost ?nt (dp m) h
+  | Table -> (
+    let a = table m in
+    match Burs.best_cost ?nt a h with
+    | None -> None
+    | Some cost -> (
+      match Burs.best_cover ?nt a h with
+      | None -> None
+      | Some cover -> Some (cover, cost)))
 
 let best ?nt m t = best_h ?nt m (Ir.Hashcons.intern t)
 
 let best_of_hvariants ?nt m hvariants =
-  (* Costs come from the DP entries — no [Cover.cost] walk per variant. *)
-  let consider acc h =
-    match best_entry ?nt m h with
-    | None -> acc
-    | Some e -> (
-      match acc with
-      | Some (_, best) when best.cost <= e.cost -> acc
-      | Some _ | None -> Some (h, e))
-  in
-  match List.fold_left consider None hvariants with
-  | None -> None
-  | Some (h, e) -> Some (h, e.cover)
+  match m.eng with
+  | Dp -> Dp_engine.best_of_hvariants ?nt (dp m) hvariants
+  | Table -> (
+    let a = table m in
+    (* Rank by state-table cost (one slot read per variant); the winning
+       cover is materialized once.  Ties keep the earlier variant, like
+       the DP fold. *)
+    let consider acc h =
+      match Burs.best_cost ?nt a h with
+      | None -> acc
+      | Some c -> (
+        match acc with
+        | Some (_, best) when best <= c -> acc
+        | Some _ | None -> Some (h, c))
+    in
+    match List.fold_left consider None hvariants with
+    | None -> None
+    | Some (h, _) -> (
+      match Burs.best_cover ?nt a h with
+      | None -> None
+      | Some cover -> Some (h, cover)))
 
 let best_of_variants ?nt m variants =
-  match
-    best_of_hvariants ?nt m (List.map Ir.Hashcons.intern variants)
-  with
+  match best_of_hvariants ?nt m (List.map Ir.Hashcons.intern variants) with
   | None -> None
   | Some (h, c) -> Some (Ir.Hashcons.node h, c)
 
+let state_key m h =
+  match m.eng with
+  | Dp -> None
+  | Table -> Some (Burs.state_key (table m) h)
+
+let state_count m =
+  match m.eng with Dp -> 0 | Table -> Burs.state_count (table m)
+
+let transition_count m =
+  match m.eng with Dp -> 0 | Table -> Burs.transition_count (table m)
+
+let table_build_ms m =
+  match m.eng with Dp -> 0. | Table -> Burs.build_ms (table m)
+
 let clear m =
-  Array.iter
-    (fun (s : stripe) ->
-      Mutex.lock s.lock;
-      Hashtbl.reset s.table;
-      Mutex.unlock s.lock)
-    m.stripes
+  match m.eng with
+  | Dp -> Dp_engine.clear (dp m)
+  | Table -> Burs.clear (table m)

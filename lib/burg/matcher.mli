@@ -19,9 +19,37 @@
 
 type t
 
-val create : Grammar.t -> t
+type engine =
+  | Dp  (** the original on-demand DP labeller (reference/fallback) *)
+  | Table  (** the {!Burs} automaton: offline tables, lock-free slots *)
+
+val create : ?engine:engine -> Grammar.t -> t
+(** Builds a matcher for the grammar. The default engine is [Table]: the
+    BURS automaton is constructed (and warmed) here, so long-lived
+    matchers — one per target, shared by the serve pool — pay it once. *)
+
+val engine : t -> engine
+val engine_name : engine -> string
+
+val engine_of_string : string -> (engine, string) result
+(** ["dp"] or ["table"]. *)
 
 val grammar : t -> Grammar.t
+
+val state_key : t -> Ir.Hashcons.h -> int option
+(** [Table] engine: the packed (cost base, state id) slot of the subtree —
+    equal keys mean identical derivation costs for every nonterminal, so
+    variant search can prune on it. [None] on the [Dp] engine (which has
+    no state abstraction, hence no sound prune key). *)
+
+val state_count : t -> int
+(** Automaton states constructed ([Table]; 0 on [Dp]). *)
+
+val transition_count : t -> int
+(** Automaton transitions memoized ([Table]; 0 on [Dp]). *)
+
+val table_build_ms : t -> float
+(** Wall-clock ms spent building the offline tables ([Table]; 0 on [Dp]). *)
 
 type counters = {
   nodes_labelled : int;

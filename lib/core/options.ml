@@ -7,6 +7,7 @@ type agu_strategy = Streams | Materialize_ivar
 type t = {
   selection : selection;
   selection_mode : selection_mode;
+  matcher : Burg.Matcher.engine;
   variant_limit : int;
   algebra_rules : Ir.Algebra.rule list;
   cse : bool;
@@ -23,6 +24,7 @@ let record_ =
   {
     selection = Optimal_variants;
     selection_mode = Tree;
+    matcher = Burg.Matcher.Table;
     (* 512, not 64: with hash-consed variants and an id-keyed shared DP
        table, matching a variant costs O(new nodes), so the deeper closure
        is cheaper than the old limit-64 enumeration was.  Variant sets are
@@ -43,6 +45,7 @@ let conventional =
   {
     selection = Naive_macro;
     selection_mode = Tree;
+    matcher = Burg.Matcher.Table;
     variant_limit = 1;
     algebra_rules = [];
     cse = false;
@@ -61,6 +64,8 @@ let with_folding t =
 let with_unrolling limit t = { t with unroll_limit = limit }
 
 let with_selection_mode mode t = { t with selection_mode = mode }
+
+let with_matcher engine t = { t with matcher = engine }
 
 (* ---- Stable fingerprint --------------------------------------------------- *)
 
@@ -104,6 +109,7 @@ let to_string t =
     [
       "selection=" ^ selection_name t.selection;
       "selection-mode=" ^ selection_mode_name t.selection_mode;
+      "matcher=" ^ Burg.Matcher.engine_name t.matcher;
       "variant-limit=" ^ string_of_int t.variant_limit;
       "algebra=" ^ String.concat "+" (List.map rule_name t.algebra_rules);
       "cse=" ^ string_of_bool t.cse;

@@ -39,6 +39,10 @@ type t = {
   selection_mode : selection_mode;
       (** how trees are grouped and ranked during covering; orthogonal to
           [selection], which picks the per-tree variant policy *)
+  matcher : Burg.Matcher.engine;
+      (** labelling engine: the table-driven BURS automaton (default) or
+          the on-demand DP labeller; both produce byte-identical covers,
+          so this is a pure performance/fallback knob *)
   variant_limit : int;  (** cap on algebraic variants per tree *)
   algebra_rules : Ir.Algebra.rule list;
   cse : bool;  (** share common subexpressions across a block (Fig. 4) *)
@@ -77,6 +81,10 @@ val with_unrolling : int -> t -> t
 (** Ablation: fully unroll loops of at most the given trip count. *)
 
 val with_selection_mode : selection_mode -> t -> t
+
+val with_matcher : Burg.Matcher.engine -> t -> t
+(** Select the labelling engine ([--matcher=dp|table]); part of the
+    option fingerprint, so cached entries never cross engines. *)
 
 val selection_mode_name : selection_mode -> string
 (** "tree" / "dag" / "exhaustive" — the spelling used by [to_string], the

@@ -20,6 +20,9 @@ type selection_stats = {
   sel_cross_tree_cse : int;
   sel_exh_trees : int;
   sel_exh_wins : int;
+  sel_states : int;
+  sel_state_prunes : int;
+  sel_table_build_ms : float;
 }
 
 let no_selection =
@@ -35,6 +38,9 @@ let no_selection =
     sel_cross_tree_cse = 0;
     sel_exh_trees = 0;
     sel_exh_wins = 0;
+    sel_states = 0;
+    sel_state_prunes = 0;
+    sel_table_build_ms = 0.;
   }
 
 type compiled = {
@@ -193,7 +199,8 @@ let select matcher (options : Options.t) stats sel tree =
     match options.selection with
     | Options.Optimal_variants ->
       Ir.Algebra.hvariants ~rules:options.algebra_rules
-        ~limit:options.variant_limit ~counters:sel.vc h
+        ~limit:options.variant_limit ~counters:sel.vc
+        ~prune_key:(Burg.Matcher.state_key matcher) h
     | Options.Optimal_single | Options.Naive_macro -> [ h ]
   in
   sel.trees <- sel.trees + 1;
@@ -487,8 +494,22 @@ let compile ?(options = Options.record_) ?matcher machine (prog : Ir.Prog.t) =
     | Some m ->
       if not (Burg.Matcher.grammar m == machine.Target.Machine.grammar) then
         invalid_arg "Pipeline.compile: matcher built for a different grammar";
+      if Burg.Matcher.engine m <> options.matcher then
+        invalid_arg "Pipeline.compile: matcher engine differs from options";
       m
-    | None -> Burg.Matcher.create machine.Target.Machine.grammar
+    | None ->
+      Burg.Matcher.create ~engine:options.matcher machine.Target.Machine.grammar
+  in
+  (* State-equivalence pruning is sound for per-tree ranking only: two
+     variants in the same automaton state have equal cover costs for every
+     nonterminal, so Tree-mode selection keeps one.  Dag/Exhaustive
+     planners score variants against cross-tree sharing and machine
+     state, which equal-cost variants can still differ on — those modes
+     keep the full enumeration. *)
+  let prune_key =
+    match options.selection_mode with
+    | Options.Tree -> Burg.Matcher.state_key matcher
+    | Options.Dag | Options.Exhaustive -> fun _ -> None
   in
   let mc0 = Burg.Matcher.counters matcher in
   let ctx = Target.Machine.create_ctx () in
@@ -527,7 +548,7 @@ let compile ?(options = Options.record_) ?matcher machine (prog : Ir.Prog.t) =
           match options.selection with
           | Options.Optimal_variants ->
             Ir.Algebra.hvariants ~rules:options.algebra_rules
-              ~limit:options.variant_limit ~counters:sel.vc h
+              ~limit:options.variant_limit ~counters:sel.vc ~prune_key h
           | Options.Optimal_single | Options.Naive_macro -> [ h ]
         in
         sel.variants_matched <- sel.variants_matched + List.length variants;
@@ -584,6 +605,9 @@ let compile ?(options = Options.record_) ?matcher machine (prog : Ir.Prog.t) =
         | Some d -> d.dexh.Select.Exhaustive.searched);
       sel_exh_wins =
         (match dag with None -> 0 | Some d -> d.dexh.Select.Exhaustive.wins);
+      sel_states = Burg.Matcher.state_count matcher;
+      sel_state_prunes = sel.vc.Ir.Algebra.state_prunes;
+      sel_table_build_ms = Burg.Matcher.table_build_ms matcher;
     }
   in
   let items =

@@ -43,6 +43,16 @@ type selection_stats = {
   sel_exh_wins : int;
       (** exhaustive searches whose best cover beat the bounded variant
           enumeration *)
+  sel_states : int;
+      (** BURS automaton states constructed so far by the matcher (total,
+          not a delta — the automaton is shared per target; 0 on the DP
+          engine) *)
+  sel_state_prunes : int;
+      (** variants dropped by automaton state equivalence before ranking
+          (0 on the DP engine, which has no sound prune key) *)
+  sel_table_build_ms : float;
+      (** wall-clock ms the matcher has spent building its offline
+          state/transition tables (total per matcher; 0 on DP) *)
 }
 (** Counters from the selection phase (variant generation + BURG matching),
     deltas for this compilation even when the matcher is shared. *)

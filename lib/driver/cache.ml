@@ -123,10 +123,10 @@ let memory_put t key entry =
 
 (* ---- disk tier ----------------------------------------------------------- *)
 
-(* Version 3: the selection counters gained the DAG/exhaustive fields, so
-   v2 marshalled payloads no longer match the entry layout.  The bump
-   invalidates them wholesale. *)
-let magic = "RECORD-CACHE-3\n"
+(* Version 4: the selection counters gained the BURS automaton fields
+   (states, state_prunes, table_build_ms), so v3 marshalled payloads no
+   longer match the entry layout.  The bump invalidates them wholesale. *)
+let magic = "RECORD-CACHE-4\n"
 
 let entry_path base key = Filename.concat base key
 

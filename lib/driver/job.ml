@@ -134,6 +134,9 @@ let to_json job =
          Json.String
            (Record.Options.selection_mode_name
               job.options.Record.Options.selection_mode) );
+       ( "matcher",
+         Json.String
+           (Burg.Matcher.engine_name job.options.Record.Options.matcher) );
        ("options_digest", Json.String (Record.Options.digest job.options));
        ("kind", Json.String (kind_name job.kind));
      ]
@@ -163,6 +166,9 @@ let selection_to_json (s : Record.Pipeline.selection_stats) =
       ("cross_tree_cse", Json.Int s.Record.Pipeline.sel_cross_tree_cse);
       ("exh_trees", Json.Int s.Record.Pipeline.sel_exh_trees);
       ("exh_wins", Json.Int s.Record.Pipeline.sel_exh_wins);
+      ("states", Json.Int s.Record.Pipeline.sel_states);
+      ("state_prunes", Json.Int s.Record.Pipeline.sel_state_prunes);
+      ("table_build_ms", Json.Float s.Record.Pipeline.sel_table_build_ms);
     ]
 
 let outputs_to_json outputs =

@@ -19,7 +19,7 @@ let read_file path =
   close_in ic;
   s
 
-let job_of_json ?selection id j =
+let job_of_json ?selection ?matcher id j =
   let ( let* ) = Result.bind in
   let str_field name = Option.bind (Json.member name j) Json.to_string_lit in
   let* source, prog, default_inputs, default_kind =
@@ -65,6 +65,20 @@ let job_of_json ?selection id j =
         | None ->
           Error (Printf.sprintf "job %d: unknown selection %S" id s)))
   in
+  (* Matcher engine: the job's optional "matcher" member, overridden by
+     the caller's [matcher] (the batch CLI's [--matcher] flag); same
+     layering as the selection mode above. *)
+  let* options =
+    match matcher with
+    | Some engine -> Ok (Record.Options.with_matcher engine options)
+    | None -> (
+      match str_field "matcher" with
+      | None -> Ok options
+      | Some s -> (
+        match Burg.Matcher.engine_of_string s with
+        | Ok engine -> Ok (Record.Options.with_matcher engine options)
+        | Error _ -> Error (Printf.sprintf "job %d: unknown matcher %S" id s)))
+  in
   let deadline = Option.bind (Json.member "deadline" j) Json.to_int in
   let* kind =
     match str_field "kind" with
@@ -94,7 +108,7 @@ let job_of_json ?selection id j =
     (Job.make ~id ?label:(str_field "label") ~source ~target ~options_label
        ~options ~inputs ~kind prog)
 
-let jobs_of_json ?selection doc =
+let jobs_of_json ?selection ?matcher doc =
   let entries =
     match doc with
     | Json.List entries -> Ok entries
@@ -108,7 +122,7 @@ let jobs_of_json ?selection doc =
       List.fold_left
         (fun (acc : (Job.t list, string) result) (i, entry) ->
           Result.bind acc (fun jobs ->
-              Result.map (fun j -> j :: jobs) (job_of_json ?selection i entry)))
+              Result.map (fun j -> j :: jobs) (job_of_json ?selection ?matcher i entry)))
         (Ok [])
         (List.mapi (fun i e -> (i, e)) entries)
       |> Result.map List.rev)

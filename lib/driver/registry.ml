@@ -51,19 +51,30 @@ let find_machine name =
         (Printf.sprintf "unknown target %s (available: %s)" name
            (String.concat ", " (names ()))))
 
-let matchers : (string, Burg.Matcher.t) Hashtbl.t = Hashtbl.create 8
+(* Keyed by (machine name, engine): the two labelling engines keep
+   separate long-lived matchers, so a --matcher=dp run never cools the
+   table-driven automaton the serve pool shares (and vice versa). *)
+let matchers : (string * Burg.Matcher.engine, Burg.Matcher.t) Hashtbl.t =
+  Hashtbl.create 8
 
-let matcher_for (m : Target.Machine.t) =
+let matcher_for ?(engine = Burg.Matcher.Table) (m : Target.Machine.t) =
   locked (fun () ->
-      match Hashtbl.find_opt matchers m.name with
+      match Hashtbl.find_opt matchers (m.name, engine) with
       | Some mt when Burg.Matcher.grammar mt == m.Target.Machine.grammar -> mt
       | Some _ | None ->
         (* Unknown name, or a caller-constructed machine (e.g. a non-default
            asip) reusing a registry name with a different grammar: build a
            matcher for this grammar and remember it. *)
-        let mt = Burg.Matcher.create m.Target.Machine.grammar in
-        Hashtbl.replace matchers m.name mt;
+        let mt = Burg.Matcher.create ~engine m.Target.Machine.grammar in
+        Hashtbl.replace matchers (m.name, engine) mt;
         mt)
 
 let warm () =
-  List.iter (fun m -> ignore (matcher_for m)) (machines ())
+  List.iter
+    (fun m ->
+      (* Both engines: the table-driven automaton (with its offline state
+         construction) and the DP fallback, so worker domains never pay
+         either build on the hot path. *)
+      ignore (matcher_for ~engine:Burg.Matcher.Table m);
+      ignore (matcher_for ~engine:Burg.Matcher.Dp m))
+    (machines ())

@@ -24,16 +24,19 @@ val register : Target.Machine.t -> unit
     {!find_machine} instead of re-registering, which keeps the matcher of
     {!matcher_for} warm across sweeps. Domain-safe. *)
 
-val matcher_for : Target.Machine.t -> Burg.Matcher.t
-(** The process-wide long-lived matcher for this machine's grammar. Its
-    DP table ({!Burg.Matcher}) stays warm across compilations, so batch
+val matcher_for :
+  ?engine:Burg.Matcher.engine -> Target.Machine.t -> Burg.Matcher.t
+(** The process-wide long-lived matcher for this machine's grammar and
+    the given engine (default [Table]). Its labelling state — BURS state
+    slots or the DP table — stays warm across compilations, so batch
     jobs for one target share labellings of repeated subtrees. Returns a
     fresh matcher (and caches it) when the machine's grammar is not
-    physically the one already registered under that name. Domain-safe:
-    lookups are serialized behind the registry mutex, and the matchers
-    themselves are safe to share across domains. *)
+    physically the one already registered under that (name, engine) key.
+    Domain-safe: lookups are serialized behind the registry mutex, and
+    the matchers themselves are safe to share across domains. *)
 
 val warm : unit -> unit
-(** Force the machine list and build the matcher of every bundled target.
-    The serve pool calls this once before spawning worker domains so the
-    hot path never constructs shared state concurrently. *)
+(** Force the machine list and build both engines' matchers for every
+    bundled target — including the BURS automata's offline state-table
+    construction. The serve pool calls this once before spawning worker
+    domains so the hot path never constructs shared state concurrently. *)

@@ -22,6 +22,8 @@ type config = {
   deterministic : bool;
       (* default for requests that do not carry a "deterministic" member *)
   cache : Cache.t option;
+  matcher : Burg.Matcher.engine option;
+      (* when set, overrides every job's own "matcher" member *)
 }
 
 type request =
@@ -50,7 +52,7 @@ let parse_request config doc =
           | None -> config.deterministic
         in
         Jobs { jobs; deterministic })
-      (Protocol.jobs_of_json doc)
+      (Protocol.jobs_of_json ?matcher:config.matcher doc)
 
 let protocol_field = ("protocol", Json.String "record-serve-1")
 

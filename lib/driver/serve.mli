@@ -17,6 +17,9 @@ type config = {
   deterministic : bool;
       (** default for requests without a ["deterministic"] member *)
   cache : Cache.t option;  (** shared by every worker domain *)
+  matcher : Burg.Matcher.engine option;
+      (** when set ([record serve --matcher=...]), overrides every job's
+          own ["matcher"] member, like [record batch --matcher] *)
 }
 
 type state

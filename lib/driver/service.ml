@@ -30,9 +30,11 @@ let compile ?cache ?salt ?(options = Record.Options.record_) machine prog =
   let t0 = Unix.gettimeofday () in
   Option.iter install_exhaustive_backend cache;
   let key = Key.make ?salt ~machine ~options prog in
-  (* One warm matcher per target: its shared DP table carries labellings
-     across every compilation this process runs for the machine. *)
-  let matcher = Registry.matcher_for machine in
+  (* One warm matcher per (target, engine): its shared labelling state
+     carries across every compilation this process runs for the machine. *)
+  let matcher =
+    Registry.matcher_for ~engine:options.Record.Options.matcher machine
+  in
   let finish compiled provenance =
     {
       compiled;

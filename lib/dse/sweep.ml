@@ -5,6 +5,7 @@ type config = {
   domains : int;
   cache : Driver.Cache.t option;
   selection : Record.Options.selection_mode;
+  matcher : Burg.Matcher.engine;
 }
 
 type result = {
@@ -70,8 +71,9 @@ let run config =
               ~source:(Printf.sprintf "dse sample %d" p.Sample.index)
               ~target:p.Sample.name ~options_label:"record"
               ~options:
-                (Record.Options.with_selection_mode config.selection
-                   Record.Options.record_)
+                (Record.Options.with_matcher config.matcher
+                   (Record.Options.with_selection_mode config.selection
+                      Record.Options.record_))
               ~inputs:k.Dspstone.Kernels.inputs ~kind:Driver.Job.Simulate prog)
           progs)
       points
@@ -153,6 +155,8 @@ let to_json ?(deterministic = true) r =
       ( "selection",
         Driver.Json.String
           (Record.Options.selection_mode_name r.config.selection) );
+      ( "matcher",
+        Driver.Json.String (Burg.Matcher.engine_name r.config.matcher) );
       ("cost_model", Driver.Json.String cost_model_doc);
       ("unique_architectures", Driver.Json.Int r.unique_architectures);
       ("complete_architectures", Driver.Json.Int complete);

@@ -24,6 +24,9 @@ type config = {
   selection : Record.Options.selection_mode;
       (** selection mode for every compile of the sweep; part of the
           options digest, so modes never share cache entries *)
+  matcher : Burg.Matcher.engine;
+      (** labelling engine for every compile of the sweep; also part of
+          the options digest, so engines never share cache entries *)
 }
 
 type result = {

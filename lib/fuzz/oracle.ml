@@ -214,25 +214,35 @@ type combo = {
   label : string;
 }
 
-let combos_for ?(selection = Record.Options.Tree) ~machines ~conventional () =
+let combos_for ?(selection = Record.Options.Tree)
+    ?(matcher = Burg.Matcher.Table) ~machines ~conventional () =
   (* The selection mode applies to the RECORD combos only: the
      conventional baseline models a compiler without the selection
-     subsystem, so it always covers tree by tree.  Non-default modes show
-     up in the label (and in the options digest a counterexample pins). *)
+     subsystem, so it always covers tree by tree.  The labelling engine
+     applies to every combo — both option sets run the matcher.
+     Non-default modes and engines show up in the label (and in the
+     options digest a counterexample pins). *)
+  let matcher_suffix =
+    match matcher with
+    | Burg.Matcher.Table -> ""
+    | Burg.Matcher.Dp -> "+dp"
+  in
   let record_label m =
     m ^ "/record"
-    ^
-    match selection with
-    | Record.Options.Tree -> ""
-    | Record.Options.Dag | Record.Options.Exhaustive ->
-      "+" ^ Record.Options.selection_mode_name selection
+    ^ (match selection with
+      | Record.Options.Tree -> ""
+      | Record.Options.Dag | Record.Options.Exhaustive ->
+        "+" ^ Record.Options.selection_mode_name selection)
+    ^ matcher_suffix
   in
   List.concat_map
     (fun (m : Target.Machine.t) ->
       {
         machine = m;
         options =
-          Record.Options.with_selection_mode selection Record.Options.record_;
+          Record.Options.with_matcher matcher
+            (Record.Options.with_selection_mode selection
+               Record.Options.record_);
         label = record_label m.name;
       }
       ::
@@ -240,8 +250,10 @@ let combos_for ?(selection = Record.Options.Tree) ~machines ~conventional () =
          [
            {
              machine = m;
-             options = Record.Options.conventional;
-             label = m.name ^ "/conv";
+             options =
+               Record.Options.with_matcher matcher
+                 Record.Options.conventional;
+             label = m.name ^ "/conv" ^ matcher_suffix;
            };
          ]
        else []))

@@ -80,6 +80,7 @@ val default_combos : unit -> combo list
 
 val combos_for :
   ?selection:Record.Options.selection_mode ->
+  ?matcher:Burg.Matcher.engine ->
   machines:Target.Machine.t list ->
   conventional:bool ->
   unit ->
@@ -87,7 +88,11 @@ val combos_for :
 (** RECORD combos for every machine (under [selection], default [Tree] —
     non-default modes are reflected in the combo label), plus the
     conventional baseline (always [Tree]: it models a compiler without
-    the selection subsystem) when [conventional]. *)
+    the selection subsystem) when [conventional]. [matcher] (default
+    [Table]) selects the labelling engine for every combo — running one
+    campaign per engine turns the whole oracle into a dp-vs-table
+    differential; the non-default engine is reflected in the labels
+    ([.../record+dp]). *)
 
 type counterexample = {
   case : Gen.case;  (** as generated — reproduce with its seed and index *)

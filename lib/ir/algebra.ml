@@ -137,11 +137,13 @@ type counters = {
   mutable explored : int;
   mutable pruned : int;
   mutable dedup_hits : int;
+  mutable state_prunes : int;
 }
 
-let fresh_counters () = { explored = 0; pruned = 0; dedup_hits = 0 }
+let fresh_counters () =
+  { explored = 0; pruned = 0; dedup_hits = 0; state_prunes = 0 }
 
-let hvariants ?(rules = default_rules) ?(limit = 64) ?counters
+let hvariants ?(rules = default_rules) ?(limit = 64) ?counters ?prune_key
     (h : Hashcons.h) =
   let c = match counters with Some c -> c | None -> fresh_counters () in
   (* Dedup on hash-cons ids: candidates coming out of [hrewrites] are
@@ -149,6 +151,28 @@ let hvariants ?(rules = default_rules) ?(limit = 64) ?counters
   let seen = Hashtbl.create 64 in
   Hashtbl.replace seen (Hashcons.id h) ();
   c.explored <- c.explored + 1;
+  (* State-equivalence pruning: a candidate whose prune key was already
+     seen has, by the key's contract, exactly the same cover costs as an
+     earlier variant, so it can never win the ranking — drop it from the
+     output.  It still counts against [limit] and still seeds the BFS
+     frontier, so the set of trees explored (and the survivors) is
+     identical to an unpruned run's prefix: determinism and the
+     prefix-stability property are preserved. *)
+  let keys = Hashtbl.create 16 in
+  let key_seen h' =
+    match prune_key with
+    | None -> false
+    | Some f -> (
+      match f h' with
+      | None -> false
+      | Some k ->
+        if Hashtbl.mem keys k then true
+        else begin
+          Hashtbl.replace keys k ();
+          false
+        end)
+  in
+  ignore (key_seen h);
   let out = ref [ h ] in
   let queue = Queue.create () in
   Queue.add h queue;
@@ -163,10 +187,11 @@ let hvariants ?(rules = default_rules) ?(limit = 64) ?counters
           else if !n >= limit then c.pruned <- c.pruned + 1
           else begin
             Hashtbl.replace seen key ();
-            out := h' :: !out;
             incr n;
             c.explored <- c.explored + 1;
-            Queue.add h' queue
+            Queue.add h' queue;
+            if key_seen h' then c.state_prunes <- c.state_prunes + 1
+            else out := h' :: !out
           end)
         (hrewrites rules cur);
       drain ()
@@ -175,9 +200,9 @@ let hvariants ?(rules = default_rules) ?(limit = 64) ?counters
   drain ();
   List.rev !out
 
-let variants ?rules ?limit ?counters t =
+let variants ?rules ?limit ?counters ?prune_key t =
   List.map Hashcons.node
-    (hvariants ?rules ?limit ?counters (Hashcons.intern t))
+    (hvariants ?rules ?limit ?counters ?prune_key (Hashcons.intern t))
 
 (* Semantic-equality spot check: evaluate both trees under a battery of
    assignments to their references. A disagreement proves inequivalence; for

@@ -26,6 +26,8 @@ type counters = {
   mutable explored : int;  (** variants admitted (the original included) *)
   mutable pruned : int;  (** candidates discarded because [limit] was hit *)
   mutable dedup_hits : int;  (** candidates already in the closure *)
+  mutable state_prunes : int;
+      (** variants dropped from the output by [prune_key] equivalence *)
 }
 (** Cheap instrumentation of one or more {!variants} runs; the pipeline
     accumulates one record per compilation and surfaces it as the
@@ -37,6 +39,7 @@ val hvariants :
   ?rules:rule list ->
   ?limit:int ->
   ?counters:counters ->
+  ?prune_key:(Hashcons.h -> int option) ->
   Hashcons.h ->
   Hashcons.h list
 (** Breadth-first closure of the one-step rewrites starting from the
@@ -46,10 +49,24 @@ val hvariants :
     Raising [limit] extends the enumeration: the result at a lower limit
     is a prefix of the result at a higher one. [counters] fields are
     incremented (never reset) when given. This is the selection hot path
-    — no tree is hashed or traversed beyond the rewrite positions. *)
+    — no tree is hashed or traversed beyond the rewrite positions.
+
+    [prune_key] enables state-equivalence pruning: when two variants map
+    to the same key ([Some k]), their covers are guaranteed cost-equal
+    (the BURS matcher's {!Matcher.state_key} contract), so only the
+    earlier one is kept in the output. Pruned variants still count
+    toward [limit] and still feed the BFS frontier, so the surviving
+    list is exactly the unpruned enumeration minus cost-duplicates —
+    deterministic and still prefix-stable across limits. [None] from the
+    key function (or omitting it) disables pruning for that variant. *)
 
 val variants :
-  ?rules:rule list -> ?limit:int -> ?counters:counters -> Tree.t -> Tree.t list
+  ?rules:rule list ->
+  ?limit:int ->
+  ?counters:counters ->
+  ?prune_key:(Hashcons.h -> int option) ->
+  Tree.t ->
+  Tree.t list
 (** [hvariants] on the interned tree, as plain trees. *)
 
 val equivalent : ?width:int -> Tree.t -> Tree.t -> bool

@@ -1,0 +1,71 @@
+(* Chunked growable int array: a spine of chunk cells, each chunk a flat
+   [int array] of [chunk_size] slots.  The spine and the chunk cells are
+   [Atomic.t] so installation is race-free (first CAS wins, losers adopt
+   the winner's chunk); the slot writes inside a chunk are plain stores —
+   values are deterministic per slot, so a lost write only costs a
+   recomputation, never a wrong answer. *)
+
+let chunk_bits = 16
+let chunk_size = 1 lsl chunk_bits
+let chunk_mask = chunk_size - 1
+
+(* [||] marks an absent chunk; a real chunk always has [chunk_size] slots. *)
+type t = { spine : int array Atomic.t array Atomic.t }
+
+let make_spine n = Array.init n (fun _ -> Atomic.make [||])
+
+let create () = { spine = Atomic.make (make_spine 64) }
+
+let get t id =
+  let spine = Atomic.get t.spine in
+  let ci = id lsr chunk_bits in
+  if ci >= Array.length spine then 0
+  else
+    let chunk = Atomic.get (Array.unsafe_get spine ci) in
+    if Array.length chunk = 0 then 0
+    else Array.unsafe_get chunk (id land chunk_mask)
+
+let rec grow t need =
+  let spine = Atomic.get t.spine in
+  let len = Array.length spine in
+  if need < len then spine
+  else begin
+    let len' = max (len * 2) (need + 1) in
+    let spine' = Array.init len' (fun i ->
+        if i < len then spine.(i) else Atomic.make [||])
+    in
+    (* Cells are shared between the old and new spine, so chunks installed
+       concurrently through the old spine stay visible; if the CAS loses,
+       somebody else grew it — retry against their spine. *)
+    ignore (Atomic.compare_and_set t.spine spine spine');
+    grow t need
+  end
+
+let chunk_at t ci =
+  let spine =
+    let spine = Atomic.get t.spine in
+    if ci < Array.length spine then spine else grow t ci
+  in
+  let cell = Array.unsafe_get spine ci in
+  let chunk = Atomic.get cell in
+  if Array.length chunk > 0 then chunk
+  else begin
+    let fresh = Array.make chunk_size 0 in
+    if Atomic.compare_and_set cell [||] fresh then fresh else Atomic.get cell
+  end
+
+let set t id v =
+  let chunk = chunk_at t (id lsr chunk_bits) in
+  Array.unsafe_set chunk (id land chunk_mask) v
+
+(* Zero installed chunks in place rather than dropping them: [clear] is a
+   quiescent-state operation (no concurrent labelling), and reusing the
+   chunks avoids re-allocating megabytes of major-heap arrays on every
+   cold-relabel cycle. *)
+let clear t =
+  let spine = Atomic.get t.spine in
+  Array.iter
+    (fun cell ->
+      let chunk = Atomic.get cell in
+      if Array.length chunk > 0 then Array.fill chunk 0 chunk_size 0)
+    spine

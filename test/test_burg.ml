@@ -322,3 +322,189 @@ let prop_tic25_consistent =
 let suites =
   suites
   @ [ ("burg.production", [ QCheck_alcotest.to_alcotest prop_tic25_consistent ]) ]
+
+(* ---- Engine differential: dp and table covers are byte-identical --------- *)
+
+let rec cover_equal (a : Burg.Cover.t) (b : Burg.Cover.t) =
+  a.Burg.Cover.rule == b.Burg.Cover.rule
+  && a.Burg.Cover.node = b.Burg.Cover.node
+  && List.length a.Burg.Cover.children = List.length b.Burg.Cover.children
+  && List.for_all2 cover_equal a.Burg.Cover.children b.Burg.Cover.children
+
+let engines_agree_on g trees =
+  let md = Burg.Matcher.create ~engine:Burg.Matcher.Dp g in
+  let mt = Burg.Matcher.create ~engine:Burg.Matcher.Table g in
+  List.iter
+    (fun t ->
+      let s = Ir.Tree.to_string t in
+      Alcotest.(check (list (pair string int)))
+        ("labels: " ^ s)
+        (Burg.Matcher.label md t) (Burg.Matcher.label mt t);
+      match (Burg.Matcher.best md t, Burg.Matcher.best mt t) with
+      | None, None -> ()
+      | Some ca, Some cb ->
+        Alcotest.(check bool) ("identical cover: " ^ s) true (cover_equal ca cb)
+      | Some _, None -> Alcotest.fail ("table misses a cover dp finds: " ^ s)
+      | None, Some _ -> Alcotest.fail ("table invents a cover: " ^ s))
+    trees
+
+let test_engines_agree_fig4 () =
+  engines_agree_on fig4
+    Ir.Tree.
+      [
+        var "x";
+        const 7;
+        const 5 + var "a";
+        var "a" + const 5;
+        (const 5 * var "a") + (var "b" * const 7);
+        (var "x" + var "y") * (var "x" + var "y");
+      ]
+
+let test_engines_agree_tic25 () =
+  (* Exercises guarded rules (immediate forms, shifts), dynamic costs and
+     the accumulator chain closure of the production C25 grammar. *)
+  engines_agree_on Target.Tic25.machine.Target.Machine.grammar
+    Ir.Tree.
+      [
+        var "x";
+        const 0;
+        const 255;
+        const 70000;
+        var "a" + (var "b" * var "c");
+        (var "b" * var "c") + var "a";
+        var "a" - const 3;
+        Unop (Ir.Op.Neg, var "a" + var "b");
+        Unop (Ir.Op.Sat, var "a" + (var "b" * var "c"));
+        Binop (Ir.Op.Shl, var "a", const 4);
+        Binop (Ir.Op.Shr, var "a" + var "b", const 1);
+        Binop (Ir.Op.And, var "a", const 255);
+      ]
+
+let prop_engines_agree =
+  QCheck.Test.make
+    ~name:"dp and table engines agree on labels and covers (tic25)" ~count:300
+    (QCheck.make ~print:Ir.Tree.to_string gen_small_tree)
+    (fun t ->
+      let g = Target.Tic25.machine.Target.Machine.grammar in
+      let md = Burg.Matcher.create ~engine:Burg.Matcher.Dp g in
+      let mt = Burg.Matcher.create ~engine:Burg.Matcher.Table g in
+      Burg.Matcher.label md t = Burg.Matcher.label mt t
+      &&
+      match (Burg.Matcher.best md t, Burg.Matcher.best mt t) with
+      | None, None -> true
+      | Some ca, Some cb -> cover_equal ca cb
+      | Some _, None | None, Some _ -> false)
+
+let suites =
+  suites
+  @ [
+      ( "burs.engine",
+        [
+          Alcotest.test_case "dp vs table: fig4" `Quick test_engines_agree_fig4;
+          Alcotest.test_case "dp vs table: tic25" `Quick
+            test_engines_agree_tic25;
+          QCheck_alcotest.to_alcotest prop_engines_agree;
+        ] );
+    ]
+
+(* ---- Degenerate-grammar diagnostics (Burs.diagnose) ---------------------- *)
+
+let has_diag p diags = List.exists p diags
+
+let test_diag_chain_cycle () =
+  let rules =
+    [
+      Burg.Rule.make ~name:"leaf" ~lhs:"a" ~cost:1 Burg.Pattern.Ref_any;
+      Burg.Rule.make ~name:"ab" ~lhs:"b" ~cost:1 (nt "a");
+      Burg.Rule.make ~name:"ba" ~lhs:"a" ~cost:1 (nt "b");
+    ]
+  in
+  let diags = Burg.Burs.diagnose ~start:"a" rules in
+  Alcotest.(check bool) "cycle reported" true
+    (has_diag (function Burg.Burs.Chain_cycle _ -> true | _ -> false) diags);
+  Alcotest.(check bool) "positive cycle is not zero-cost" false
+    (has_diag
+       (function Burg.Burs.Zero_cost_chain_cycle _ -> true | _ -> false)
+       diags)
+
+let test_diag_zero_cost_cycle () =
+  let rules =
+    [
+      Burg.Rule.make ~name:"leaf" ~lhs:"a" ~cost:1 Burg.Pattern.Ref_any;
+      Burg.Rule.make ~name:"ab" ~lhs:"b" ~cost:0 (nt "a");
+      Burg.Rule.make ~name:"ba" ~lhs:"a" ~cost:0 (nt "b");
+    ]
+  in
+  let diags = Burg.Burs.diagnose ~start:"a" rules in
+  Alcotest.(check bool) "zero-cost cycle reported" true
+    (has_diag
+       (function Burg.Burs.Zero_cost_chain_cycle _ -> true | _ -> false)
+       diags)
+
+let test_diag_unreachable () =
+  let rules =
+    [
+      Burg.Rule.make ~name:"leaf" ~lhs:"a" ~cost:1 Burg.Pattern.Ref_any;
+      Burg.Rule.make ~name:"orphan" ~lhs:"island" ~cost:1
+        Burg.Pattern.Const_any;
+    ]
+  in
+  let diags = Burg.Burs.diagnose ~start:"a" rules in
+  Alcotest.(check bool) "unreachable nonterminal reported" true
+    (has_diag
+       (function
+         | Burg.Burs.Unreachable_nonterm "island" -> true | _ -> false)
+       diags);
+  Alcotest.(check bool) "start is not unreachable" false
+    (has_diag
+       (function Burg.Burs.Unreachable_nonterm "a" -> true | _ -> false)
+       diags)
+
+let test_diag_op_without_rules () =
+  (* fig4 covers Add and Mul only: every other operator must be flagged,
+     and the covered ones must not be. *)
+  let diags = Burg.Burs.diagnose ~start:"reg" fig4_rules in
+  let flagged op =
+    has_diag
+      (function Burg.Burs.Op_without_rules o -> o = op | _ -> false)
+      diags
+  in
+  Alcotest.(check bool) "sub flagged" true (flagged (Ir.Op.binop_name Ir.Op.Sub));
+  Alcotest.(check bool) "neg flagged" true (flagged (Ir.Op.unop_name Ir.Op.Neg));
+  Alcotest.(check bool) "add not flagged" false
+    (flagged (Ir.Op.binop_name Ir.Op.Add));
+  Alcotest.(check bool) "mul not flagged" false
+    (flagged (Ir.Op.binop_name Ir.Op.Mul));
+  Alcotest.(check bool) "no cycle diags on fig4" false
+    (has_diag
+       (function
+         | Burg.Burs.Chain_cycle _ | Burg.Burs.Zero_cost_chain_cycle _ -> true
+         | _ -> false)
+       diags)
+
+let test_diag_strings () =
+  List.iter
+    (fun d -> Alcotest.(check bool) "non-empty" true
+        (String.length (Burg.Burs.diag_to_string d) > 0))
+    [
+      Burg.Burs.Chain_cycle [ "a"; "b" ];
+      Burg.Burs.Zero_cost_chain_cycle [ "a" ];
+      Burg.Burs.Unreachable_nonterm "x";
+      Burg.Burs.Op_without_rules "sat";
+    ]
+
+let suites =
+  suites
+  @ [
+      ( "burs.diagnose",
+        [
+          Alcotest.test_case "chain cycle" `Quick test_diag_chain_cycle;
+          Alcotest.test_case "zero-cost chain cycle" `Quick
+            test_diag_zero_cost_cycle;
+          Alcotest.test_case "unreachable nonterminal" `Quick
+            test_diag_unreachable;
+          Alcotest.test_case "operators without rules" `Quick
+            test_diag_op_without_rules;
+          Alcotest.test_case "diag messages" `Quick test_diag_strings;
+        ] );
+    ]

@@ -158,6 +158,7 @@ let sweep_config cache =
     domains = 1;
     cache;
     selection = Record.Options.Tree;
+    matcher = Burg.Matcher.Table;
   }
 
 let test_sweep_deterministic_json () =
@@ -251,7 +252,12 @@ let test_cost_model_monotone () =
 let test_serve_stats_evictions () =
   let cache = Driver.Cache.create ~memory_slots:8 () in
   let config =
-    { Driver.Serve.domains = 1; deterministic = true; cache = Some cache }
+    {
+      Driver.Serve.domains = 1;
+      deterministic = true;
+      cache = Some cache;
+      matcher = None;
+    }
   in
   let pool = Driver.Pool.create ~domains:1 () in
   Fun.protect
